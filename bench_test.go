@@ -1,0 +1,217 @@
+package repro_test
+
+// The benchmark harness: one benchmark per paper figure (Figures 2-22),
+// regenerating the corresponding experiment at reduced scale per
+// iteration, plus ablation benchmarks for the design choices DESIGN.md
+// calls out. Run everything with:
+//
+//	go test -bench=. -benchmem
+//
+// Full-scale figure regeneration (paper-sized traces and rate ranges) is
+// cmd/figures' job; these benchmarks track the cost of the experiment
+// pipelines themselves.
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/dist"
+	"repro/internal/dsp"
+	"repro/internal/experiments"
+	"repro/internal/lrd"
+	"repro/internal/stats"
+	"repro/internal/traffic"
+)
+
+// benchFigure runs one experiment per iteration at small scale.
+func benchFigure(b *testing.B, id string) {
+	b.Helper()
+	runner := experiments.Registry()[id]
+	if runner == nil {
+		b.Fatalf("unknown figure %q", id)
+	}
+	// Warm the shared trace cache outside the timer.
+	if _, err := runner(experiments.ScaleSmall); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := runner(experiments.ScaleSmall); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig02(b *testing.B) { benchFigure(b, "fig02") }
+func BenchmarkFig03(b *testing.B) { benchFigure(b, "fig03") }
+func BenchmarkFig04(b *testing.B) { benchFigure(b, "fig04") }
+func BenchmarkFig05(b *testing.B) { benchFigure(b, "fig05") }
+func BenchmarkFig06(b *testing.B) { benchFigure(b, "fig06") }
+func BenchmarkFig07(b *testing.B) { benchFigure(b, "fig07") }
+func BenchmarkFig08(b *testing.B) { benchFigure(b, "fig08") }
+func BenchmarkFig09(b *testing.B) { benchFigure(b, "fig09") }
+func BenchmarkFig10(b *testing.B) { benchFigure(b, "fig10") }
+func BenchmarkFig11(b *testing.B) { benchFigure(b, "fig11") }
+func BenchmarkFig12(b *testing.B) { benchFigure(b, "fig12") }
+func BenchmarkFig13(b *testing.B) { benchFigure(b, "fig13") }
+func BenchmarkFig14(b *testing.B) { benchFigure(b, "fig14") }
+func BenchmarkFig15(b *testing.B) { benchFigure(b, "fig15") }
+func BenchmarkFig16(b *testing.B) { benchFigure(b, "fig16") }
+func BenchmarkFig17(b *testing.B) { benchFigure(b, "fig17") }
+func BenchmarkFig18(b *testing.B) { benchFigure(b, "fig18") }
+func BenchmarkFig19(b *testing.B) { benchFigure(b, "fig19") }
+func BenchmarkFig20(b *testing.B) { benchFigure(b, "fig20") }
+func BenchmarkFig21(b *testing.B) { benchFigure(b, "fig21") }
+func BenchmarkFig22(b *testing.B) { benchFigure(b, "fig22") }
+
+// --- Ablation: FFT vs direct convolution in the SNC checker ------------
+
+func sncInputs() (core.IntervalPMF, lrd.PowerLawACF, []int) {
+	p, err := core.StratifiedPMF(8)
+	if err != nil {
+		panic(err)
+	}
+	taus := make([]int, 0, 12)
+	for tau := 8; tau <= 96; tau += 8 {
+		taus = append(taus, tau)
+	}
+	return p, lrd.PowerLawACF{Const: 1, Beta: 0.5}, taus
+}
+
+func BenchmarkSNCAblationFFT(b *testing.B) {
+	p, acf, taus := sncInputs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.CheckSNC(p, acf, taus); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSNCAblationDirect(b *testing.B) {
+	p, acf, taus := sncInputs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.CheckSNCDirect(p, acf, taus); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Ablation: BSS design modes (L tuned vs epsilon tuned) --------------
+
+func bssAblationTrace(b *testing.B) ([]float64, float64) {
+	b.Helper()
+	rng := dist.NewRand(321)
+	p := dist.Pareto{Alpha: 1.5, Xm: 1}
+	f := make([]float64, 1<<18)
+	for i := range f {
+		f[i] = p.Sample(rng)
+	}
+	return f, stats.Mean(f)
+}
+
+func BenchmarkBSSDesignLTuned(b *testing.B) {
+	f, mean := bssAblationTrace(b)
+	design, err := core.NewBSSDesign(1.5)
+	if err != nil {
+		b.Fatal(err)
+	}
+	l, err := design.LUnbiased(1.0, 0.2)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := core.BSS{Interval: 1000, L: int(l), Epsilon: 1.0}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		samples, err := cfg.Sample(f)
+		if err != nil {
+			b.Fatal(err)
+		}
+		_ = core.Eta(core.MeanOf(samples), mean)
+	}
+}
+
+func BenchmarkBSSDesignEpsTuned(b *testing.B) {
+	f, mean := bssAblationTrace(b)
+	design, err := core.NewBSSDesign(1.5)
+	if err != nil {
+		b.Fatal(err)
+	}
+	eps, err := design.EpsForTarget(10, 0.2, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := core.BSS{Interval: 1000, L: 10, Epsilon: eps}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		samples, err := cfg.Sample(f)
+		if err != nil {
+			b.Fatal(err)
+		}
+		_ = core.Eta(core.MeanOf(samples), mean)
+	}
+}
+
+// --- Ablation: exact vs instance-estimated average variance -------------
+
+func BenchmarkAvgVarianceExact(b *testing.B) {
+	f, mean := bssAblationTrace(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.ExactSystematicVariance(f, 1000, mean); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAvgVarianceInstances(b *testing.B) {
+	f, mean := bssAblationTrace(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.RunInstances(f, mean, 40, core.SystematicInstances(1000)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Substrate micro-benchmarks -----------------------------------------
+
+func BenchmarkTraceSynthesis(b *testing.B) {
+	cfg := traffic.SynthConfig{
+		Pairs: 50, Duration: 60, AlphaOn: 1.76,
+		MeanOn: 0.5, MeanOff: 30, MeanRate: 5e5, RateAlpha: 1.6,
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := traffic.SynthesizeTrace(cfg, dist.NewRand(uint64(i))); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkHurstEstimatorSuite(b *testing.B) {
+	gen, err := lrd.NewFGN(0.8, 1<<14, 0, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	x := gen.Generate(dist.NewRand(5))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if got := lrd.EstimateAll(x); len(got) < 5 {
+			b.Fatalf("only %d estimators succeeded", len(got))
+		}
+	}
+}
+
+func BenchmarkFFTRoundTrip64k(b *testing.B) {
+	x := make([]float64, 1<<16)
+	for i := range x {
+		x[i] = float64(i % 101)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		spec := dsp.FFTReal(x)
+		dsp.IFFT(spec)
+	}
+}

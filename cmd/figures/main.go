@@ -1,0 +1,69 @@
+// Command figures regenerates the paper's evaluation artefacts
+// (Figures 2-22). Without flags it runs every figure at full scale and
+// prints the tables; -fig selects specific figures and -small switches to
+// the reduced test scale.
+//
+// Examples:
+//
+//	figures                 # all figures, paper scale
+//	figures -fig fig06      # one figure
+//	figures -fig fig05,fig22 -small
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "figures:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("figures", flag.ContinueOnError)
+	var (
+		figs  = fs.String("fig", "", "comma-separated figure ids (default: all); e.g. fig06,fig18")
+		small = fs.Bool("small", false, "run at the reduced test scale instead of paper scale")
+		list  = fs.Bool("list", false, "list available figure ids and exit")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	registry := experiments.Registry()
+	if *list {
+		for _, id := range experiments.FigureIDs() {
+			fmt.Println(id)
+		}
+		return nil
+	}
+	scale := experiments.ScaleFull
+	if *small {
+		scale = experiments.ScaleSmall
+	}
+	ids := experiments.FigureIDs()
+	if *figs != "" {
+		ids = strings.Split(*figs, ",")
+	}
+	for _, id := range ids {
+		id = strings.TrimSpace(id)
+		runner, ok := registry[id]
+		if !ok {
+			return fmt.Errorf("unknown figure %q (use -list)", id)
+		}
+		start := time.Now()
+		result, err := runner(scale)
+		if err != nil {
+			return fmt.Errorf("%s: %w", id, err)
+		}
+		fmt.Printf("=== %s (%s scale, %.1fs) ===\n%s\n", id, scale, time.Since(start).Seconds(), result.Render())
+	}
+	return nil
+}

@@ -1,0 +1,25 @@
+package main
+
+import "testing"
+
+func TestRunList(t *testing.T) {
+	if err := run([]string{"-list"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunOneFigureSmall(t *testing.T) {
+	// fig04 and fig09 are pure analytics — instant even in tests.
+	if err := run([]string{"-small", "-fig", "fig04,fig09"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if err := run([]string{"-fig", "fig99"}); err == nil {
+		t.Error("expected unknown-figure error")
+	}
+	if err := run([]string{"-bogus"}); err == nil {
+		t.Error("expected flag parse error")
+	}
+}

@@ -1,0 +1,61 @@
+// Command hurst estimates the Hurst parameter of a rate series with all
+// five estimators in internal/lrd (aggregated variance, R/S, periodogram,
+// Abry-Veitch wavelet, DFA) and prints them side by side.
+//
+// Example:
+//
+//	tracegen -kind fgn -hurst 0.8 -out fgn.series
+//	hurst fgn.series
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"repro/internal/lrd"
+	"repro/internal/trace"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "hurst:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("hurst", flag.ContinueOnError)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		return fmt.Errorf("usage: hurst <series-file>")
+	}
+	file, err := os.Open(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	defer file.Close()
+	gran, f, err := trace.ReadSeries(file)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("series: %d points at %g s/bin\n", len(f), gran)
+	estimates := lrd.EstimateAll(f)
+	if len(estimates) == 0 {
+		return fmt.Errorf("no estimator succeeded (series too short?)")
+	}
+	names := make([]string, 0, len(estimates))
+	for name := range estimates {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	fmt.Printf("%-12s  %8s  %8s  %8s\n", "method", "H", "beta", "fit R2")
+	for _, name := range names {
+		e := estimates[name]
+		fmt.Printf("%-12s  %8.4f  %8.4f  %8.4f\n", name, e.H, e.Beta, e.Fit.R2)
+	}
+	return nil
+}

@@ -1,0 +1,53 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/dist"
+	"repro/internal/lrd"
+	"repro/internal/trace"
+)
+
+func writeSeries(t *testing.T) string {
+	t.Helper()
+	gen, err := lrd.NewFGN(0.8, 1<<13, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := gen.Generate(dist.NewRand(1))
+	path := filepath.Join(t.TempDir(), "s.series")
+	file, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer file.Close()
+	if err := trace.WriteSeries(file, 1, f); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestRunEstimates(t *testing.T) {
+	if err := run([]string{writeSeries(t)}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if err := run(nil); err == nil {
+		t.Error("expected usage error")
+	}
+	if err := run([]string{"/nonexistent/file"}); err == nil {
+		t.Error("expected open error")
+	}
+	// A non-series file fails header validation.
+	bad := filepath.Join(t.TempDir(), "bad")
+	if err := os.WriteFile(bad, []byte("not a series"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{bad}); err == nil {
+		t.Error("expected format error")
+	}
+}

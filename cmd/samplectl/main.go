@@ -1,0 +1,116 @@
+// Command samplectl runs a sampling technique over a stored rate series
+// and reports the estimated mean, the bias eta against the true series
+// mean, the overhead and the efficiency — the paper's evaluation metrics
+// for a single run.
+//
+// Examples:
+//
+//	samplectl -technique systematic -rate 1e-3 series.bin
+//	samplectl -technique bss -rate 1e-3 -L 10 -eps 1.0 series.bin
+//	samplectl -technique bss -rate 1e-3 -auto -alpha 1.5 -cs 0.02 series.bin
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/dist"
+	"repro/internal/stats"
+	"repro/internal/trace"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "samplectl:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("samplectl", flag.ContinueOnError)
+	var (
+		technique = fs.String("technique", "systematic", "systematic | stratified | simple | bernoulli | bss")
+		rate      = fs.Float64("rate", 1e-3, "sampling rate (base samples per tick)")
+		seed      = fs.Uint64("seed", 1, "random seed for the randomized techniques")
+		offset    = fs.Int("offset", 0, "systematic/BSS starting offset")
+		l         = fs.Int("L", 10, "BSS extra samples per triggered interval")
+		eps       = fs.Float64("eps", 1.0, "BSS threshold multiplier")
+		auto      = fs.Bool("auto", false, "BSS: derive L from the rate via Eq. (35)/(23)")
+		alpha     = fs.Float64("alpha", 1.5, "traffic tail index for -auto")
+		cs        = fs.Float64("cs", 0.02, "Cs constant of the eta(r) law for -auto")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		return fmt.Errorf("usage: samplectl [flags] <series-file>")
+	}
+	file, err := os.Open(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	defer file.Close()
+	_, f, err := trace.ReadSeries(file)
+	if err != nil {
+		return err
+	}
+	if *rate <= 0 || *rate > 1 {
+		return fmt.Errorf("rate %g outside (0,1]", *rate)
+	}
+	interval := int(1/(*rate) + 0.5)
+	if interval < 1 {
+		interval = 1
+	}
+	realMean := stats.Mean(f)
+
+	var sampler core.Sampler
+	switch *technique {
+	case "systematic":
+		sampler, err = core.NewSystematic(interval, *offset%interval)
+	case "stratified":
+		sampler, err = core.NewStratified(interval, dist.NewRand(*seed))
+	case "simple":
+		sampler, err = core.NewSimpleRandom(max(1, len(f)/interval), dist.NewRand(*seed))
+	case "bernoulli":
+		sampler, err = core.NewBernoulli(*rate, dist.NewRand(*seed))
+	case "bss":
+		cfg := core.BSS{Interval: interval, Offset: *offset % interval, L: *l, Epsilon: *eps}
+		if *auto {
+			design, derr := core.NewBSSDesign(*alpha)
+			if derr != nil {
+				return derr
+			}
+			autoL, eta, derr := design.DesignForRate(*rate, *eps, *cs, 100)
+			if derr != nil {
+				return derr
+			}
+			cfg.L = autoL
+			fmt.Printf("auto design: eta(r)=%.3f -> L=%d (eps=%.2f)\n", eta, autoL, *eps)
+		}
+		sampler = cfg
+	default:
+		return fmt.Errorf("unknown technique %q", *technique)
+	}
+	if err != nil {
+		return err
+	}
+	samples, err := sampler.Sample(f)
+	if err != nil {
+		return err
+	}
+	sampledMean := core.MeanOf(samples)
+	eta := core.Eta(sampledMean, realMean)
+	base, qualified := core.CountKinds(samples)
+	fmt.Printf("technique:     %s\n", sampler.Name())
+	fmt.Printf("series:        %d ticks, real mean %.6g\n", len(f), realMean)
+	fmt.Printf("samples:       %d (base %d, qualified %d)\n", len(samples), base, qualified)
+	fmt.Printf("sampled mean:  %.6g\n", sampledMean)
+	fmt.Printf("eta:           %.4f\n", eta)
+	if qualified > 0 {
+		fmt.Printf("overhead:      %.4f\n", core.Overhead(samples))
+	}
+	fmt.Printf("efficiency:    %.4f\n", core.Efficiency(eta, len(samples)))
+	return nil
+}

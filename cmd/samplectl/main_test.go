@@ -1,0 +1,64 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/dist"
+	"repro/internal/trace"
+	"repro/internal/traffic"
+)
+
+func writeSeries(t *testing.T) string {
+	t.Helper()
+	cfg := traffic.OnOffConfig{
+		Sources: 8, AlphaOn: 1.4, AlphaOff: 1.4,
+		MeanOn: 5, MeanOff: 20, Rate: 1, Ticks: 1 << 14,
+	}
+	f, err := traffic.GenerateOnOff(cfg, dist.NewRand(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "s.series")
+	file, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer file.Close()
+	if err := trace.WriteSeries(file, 1, f); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestRunEveryTechnique(t *testing.T) {
+	path := writeSeries(t)
+	for _, technique := range []string{"systematic", "stratified", "simple", "bernoulli", "bss"} {
+		if err := run([]string{"-technique", technique, "-rate", "1e-2", path}); err != nil {
+			t.Errorf("%s: %v", technique, err)
+		}
+	}
+}
+
+func TestRunAutoBSS(t *testing.T) {
+	if err := run([]string{"-technique", "bss", "-rate", "1e-2", "-auto", "-alpha", "1.5", "-cs", "0.02", writeSeries(t)}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	path := writeSeries(t)
+	if err := run(nil); err == nil {
+		t.Error("expected usage error")
+	}
+	if err := run([]string{"-technique", "nope", path}); err == nil {
+		t.Error("expected unknown-technique error")
+	}
+	if err := run([]string{"-rate", "2", path}); err == nil {
+		t.Error("expected rate range error")
+	}
+	if err := run([]string{"/nonexistent"}); err == nil {
+		t.Error("expected open error")
+	}
+}

@@ -1,0 +1,110 @@
+// Command tracegen generates synthetic self-similar traffic traces: a
+// superposed ON/OFF aggregate series, an fGn series, or an OD-flow packet
+// trace, written in the repository's binary or CSV formats.
+//
+// Examples:
+//
+//	tracegen -kind onoff -ticks 1048576 -hurst 0.85 -out onoff.series
+//	tracegen -kind fgn -ticks 65536 -hurst 0.8 -mean 10 -sdev 2 -out fgn.series
+//	tracegen -kind packets -duration 600 -pairs 200 -out bell.pkts -csv
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/dist"
+	"repro/internal/lrd"
+	"repro/internal/trace"
+	"repro/internal/traffic"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "tracegen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("tracegen", flag.ContinueOnError)
+	var (
+		kind     = fs.String("kind", "onoff", "trace kind: onoff | fgn | packets")
+		out      = fs.String("out", "", "output file (required)")
+		seed     = fs.Uint64("seed", 1, "random seed")
+		csv      = fs.Bool("csv", false, "write CSV instead of binary (packets only)")
+		ticks    = fs.Int("ticks", 1<<18, "series length in ticks (onoff, fgn)")
+		hurst    = fs.Float64("hurst", 0.8, "target Hurst parameter")
+		mean     = fs.Float64("mean", 0, "fgn mean (fgn only)")
+		sdev     = fs.Float64("sdev", 1, "fgn standard deviation (fgn only)")
+		sources  = fs.Int("sources", 12, "ON/OFF sources (onoff only)")
+		rateA    = fs.Float64("ratealpha", 1.5, "per-burst rate tail index, 0 = constant")
+		gran     = fs.Float64("granularity", 1, "seconds per bin recorded in series files")
+		pairs    = fs.Int("pairs", 200, "OD pairs (packets only)")
+		duration = fs.Float64("duration", 600, "trace duration in seconds (packets only)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *out == "" {
+		return fmt.Errorf("missing -out")
+	}
+	rng := dist.NewRand(*seed)
+	file, err := os.Create(*out)
+	if err != nil {
+		return err
+	}
+	defer file.Close()
+
+	switch *kind {
+	case "onoff":
+		alpha := lrd.AlphaFromH(*hurst)
+		cfg := traffic.OnOffConfig{
+			Sources: *sources, AlphaOn: alpha, AlphaOff: alpha,
+			MeanOn: 10, MeanOff: 90, Rate: 1, RateAlpha: *rateA, Ticks: *ticks,
+		}
+		f, err := traffic.GenerateOnOff(cfg, rng)
+		if err != nil {
+			return err
+		}
+		if err := trace.WriteSeries(file, *gran, f); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %d-tick ON/OFF series (design H=%.2f) to %s\n", len(f), cfg.Hurst(), *out)
+	case "fgn":
+		gen, err := lrd.NewFGN(*hurst, *ticks, *mean, *sdev)
+		if err != nil {
+			return err
+		}
+		f := gen.Generate(rng)
+		if err := trace.WriteSeries(file, *gran, f); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %d-tick fGn series (H=%.2f) to %s\n", len(f), *hurst, *out)
+	case "packets":
+		cfg := traffic.SynthConfig{
+			Pairs: *pairs, Duration: *duration,
+			AlphaOn: 3 - 2**hurst, MeanOn: 0.5, MeanOff: 120,
+			MeanRate: 5e5, RateAlpha: *rateA,
+		}
+		pkts, err := traffic.SynthesizeTrace(cfg, rng)
+		if err != nil {
+			return err
+		}
+		if *csv {
+			err = trace.WritePacketsCSV(file, pkts)
+		} else {
+			err = trace.WritePackets(file, pkts)
+		}
+		if err != nil {
+			return err
+		}
+		st := traffic.Stats(pkts)
+		fmt.Printf("wrote %d packets (%.3g bytes/s over %.0fs, %d pairs) to %s\n",
+			st.Packets, st.MeanRate, st.Duration, st.HostPairs, *out)
+	default:
+		return fmt.Errorf("unknown kind %q (want onoff, fgn or packets)", *kind)
+	}
+	return nil
+}

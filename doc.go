@@ -1,0 +1,20 @@
+// Package repro is a from-scratch Go reproduction of "An In-Depth,
+// Analytical Study of Sampling Techniques for Self-Similar Internet
+// Traffic" (He & Hou, ICDCS 2005).
+//
+// The library lives under internal/: the paper's contribution (the three
+// classic sampling techniques, Biased Systematic Sampling, the SNC of
+// Theorem 1, the average-variance theory of Theorem 2 and the full BSS
+// parameter design) is in internal/core; the substrates it stands on —
+// FFT/wavelets (internal/dsp), statistics (internal/stats), heavy-tailed
+// distributions (internal/dist), long-range dependence and Hurst
+// estimation (internal/lrd), traffic models and packet-trace synthesis
+// (internal/traffic), trace I/O (internal/trace) and a concurrent
+// router-monitor pipeline (internal/pipeline) — are each their own
+// package. internal/experiments reproduces every figure of the paper's
+// evaluation; cmd/figures regenerates them and bench_test.go benchmarks
+// each one.
+//
+// See README.md for a tour, DESIGN.md for the system inventory and
+// EXPERIMENTS.md for paper-vs-measured results.
+package repro

@@ -1,0 +1,108 @@
+// Usage accounting: estimate per-OD-flow traffic volumes from sampled
+// data, the long-term charging use case (Duffield et al.) the paper cites.
+// Compares plain systematic sampling against online-designed BSS on the
+// flow that matters: a bursty heavy-tailed customer whose volume ordinary
+// sampling under-bills.
+//
+//	go run ./examples/accounting
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	"repro/internal/core"
+	"repro/internal/dist"
+	"repro/internal/stats"
+	"repro/internal/traffic"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("accounting: ")
+
+	// One billing period of per-customer traffic: customer A is smooth
+	// (light-tailed), customer B is bursty (heavy-tailed durations and
+	// burst rates). Both have similar true volume.
+	const ticks = 1 << 18
+	smoothCfg := traffic.OnOffConfig{
+		Sources: 64, AlphaOn: 1.9, AlphaOff: 1.9,
+		MeanOn: 50, MeanOff: 50, Rate: 0.2, Ticks: ticks,
+	}
+	burstyCfg := traffic.OnOffConfig{
+		Sources: 12, AlphaOn: 1.3, AlphaOff: 1.5,
+		MeanOn: 5, MeanOff: 300, Rate: 1, RateAlpha: 1.5, Ticks: ticks,
+	}
+	smooth, err := traffic.GenerateOnOff(smoothCfg, dist.NewRand(100))
+	if err != nil {
+		log.Fatal(err)
+	}
+	bursty, err := traffic.GenerateOnOff(burstyCfg, dist.NewRand(300))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	const rate = 1e-3
+	interval := int(1 / rate)
+	fmt.Printf("billing from a %.0e sampling rate (interval %d)\n\n", rate, interval)
+	fmt.Printf("%-10s  %12s  %12s  %8s  %12s  %8s  %8s\n",
+		"customer", "true volume", "sys billed", "sys err", "bss billed", "bss err", "overhead")
+
+	// Billing runs once per deployment at an arbitrary phase, so we report
+	// the *typical* (median-over-offsets) bill each method produces.
+	for _, c := range []struct {
+		name  string
+		f     []float64
+		alpha float64
+	}{
+		{"smooth", smooth, 1.9},
+		{"bursty", bursty, 1.5},
+	} {
+		trueVol := stats.Sum(c.f)
+		trueMean := trueVol / float64(len(c.f))
+		ticksF := float64(len(c.f))
+
+		// Systematic billing: typical sampled mean x duration.
+		st, err := core.RunInstances(c.f, trueMean, 21, core.SystematicInstances(interval))
+		if err != nil {
+			log.Fatal(err)
+		}
+		sysMed, err := stats.Median(st.Means)
+		if err != nil {
+			log.Fatal(err)
+		}
+		sysVol := sysMed * ticksF
+
+		// BSS billing with the online design: derive L for the measured
+		// typical bias via the paper's Eq. (23), then bill the same way.
+		design, err := core.NewBSSDesign(c.alpha)
+		if err != nil {
+			log.Fatal(err)
+		}
+		eta := core.Eta(sysMed, trueMean)
+		if eta < 0.005 {
+			eta = 0.005
+		}
+		lf, err := design.LUnbiased(1.0, eta)
+		if err != nil {
+			log.Fatal(err)
+		}
+		bssCfg := core.BSS{Interval: interval, L: int(lf), Epsilon: 1.0}
+		bst, err := core.RunInstances(c.f, trueMean, 21, core.BSSInstances(bssCfg))
+		if err != nil {
+			log.Fatal(err)
+		}
+		bssMed, err := stats.Median(bst.Means)
+		if err != nil {
+			log.Fatal(err)
+		}
+		bssVol := bssMed * ticksF
+
+		fmt.Printf("%-10s  %12.4g  %12.4g  %7.2f%%  %12.4g  %7.2f%%  %8.3f\n",
+			c.name, trueVol, sysVol, 100*math.Abs(sysVol-trueVol)/trueVol,
+			bssVol, 100*math.Abs(bssVol-trueVol)/trueVol, bst.AvgOverhead)
+	}
+	fmt.Println("\nOn smooth traffic both bills agree; on bursty traffic plain sampling")
+	fmt.Println("typically under-bills and BSS closes most of the gap for a small overhead.")
+}

@@ -1,0 +1,244 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/stats"
+)
+
+// BSS is Biased Systematic Sampling (the paper's Section V-C): systematic
+// sampling with interval C, except that whenever a base sample exceeds the
+// threshold a_th, L extra probes are taken evenly inside the current
+// interval (spacing C/(L+1), strictly between this base sample and the
+// next) and only the probes exceeding a_th — the "qualified" samples — are
+// kept. Because bursts above a_th are heavy-tailed (Section V-B), a sample
+// above the threshold predicts more large values right after it, so the
+// extra probes recover exactly the mass ordinary sampling misses.
+//
+// The threshold is either static (Threshold > 0) or adaptive, the paper's
+// online rule: a_th = Epsilon * (running mean of every kept sample so
+// far), seeded from the first PreSamples base samples and updated only at
+// base samples — never while extra probes of the current interval are
+// outstanding.
+type BSS struct {
+	Interval   int     // base sampling interval C >= 1
+	Offset     int     // base offset in [0, Interval)
+	L          int     // extra probes per triggered interval, >= 0 (0 degenerates to systematic)
+	Epsilon    float64 // adaptive threshold multiplier (used when Threshold == 0)
+	Threshold  float64 // static a_th; > 0 disables the adaptive rule
+	PreSamples int     // warm-up base samples for the adaptive rule (default 10)
+
+	// Placement selects where the L extra probes go; see Placement.
+	Placement Placement
+}
+
+// Placement is the extra-probe layout within a triggered interval, an
+// ablation axis for the design choice the paper leaves implicit.
+type Placement int
+
+const (
+	// PlacementSpread (the default, the paper's description) spaces the
+	// L probes evenly through the interval at C/(L+1).
+	PlacementSpread Placement = iota
+	// PlacementChase takes the L probes at consecutive ticks right after
+	// the trigger — "burst chasing". It qualifies more probes (the burst
+	// persistence of Eq. 20 is strongest immediately after a trigger) but
+	// over-weights the head of each burst, biasing the estimate upward.
+	PlacementChase
+)
+
+// String implements fmt.Stringer.
+func (p Placement) String() string {
+	if p == PlacementChase {
+		return "chase"
+	}
+	return "spread"
+}
+
+// NewBSS validates the configuration.
+func NewBSS(interval, l int, epsilon float64) (BSS, error) {
+	b := BSS{Interval: interval, L: l, Epsilon: epsilon}
+	if err := b.validate(); err != nil {
+		return BSS{}, err
+	}
+	return b, nil
+}
+
+// NewBSSStatic builds a BSS with a fixed threshold a_th.
+func NewBSSStatic(interval, l int, threshold float64) (BSS, error) {
+	b := BSS{Interval: interval, L: l, Threshold: threshold}
+	if err := b.validate(); err != nil {
+		return BSS{}, err
+	}
+	return b, nil
+}
+
+func (b BSS) validate() error {
+	switch {
+	case b.Interval < 1:
+		return fmt.Errorf("core: BSS interval %d must be >= 1", b.Interval)
+	case b.Offset < 0 || b.Offset >= b.Interval:
+		return fmt.Errorf("core: BSS offset %d outside [0, %d)", b.Offset, b.Interval)
+	case b.L < 0:
+		return fmt.Errorf("core: BSS extra-sample count L=%d must be >= 0", b.L)
+	case b.Threshold < 0:
+		return fmt.Errorf("core: BSS threshold %g must be >= 0", b.Threshold)
+	case b.Threshold == 0 && !(b.Epsilon > 0):
+		return fmt.Errorf("core: adaptive BSS needs Epsilon > 0 (got %g)", b.Epsilon)
+	case b.PreSamples < 0:
+		return fmt.Errorf("core: BSS pre-sample count %d must be >= 0", b.PreSamples)
+	case b.Placement != PlacementSpread && b.Placement != PlacementChase:
+		return fmt.Errorf("core: unknown BSS placement %d", b.Placement)
+	}
+	return nil
+}
+
+// probeOffsets appends the extra-probe indices for a trigger at base index
+// i, honoring the placement policy and skipping collisions/out-of-range.
+func (b BSS) probeOffsets(i, seriesLen int) []int {
+	out := make([]int, 0, b.L)
+	prev := i
+	for j := 1; j <= b.L; j++ {
+		var idx int
+		if b.Placement == PlacementChase {
+			idx = i + j
+			if idx >= i+b.Interval { // never cross into the next interval
+				break
+			}
+		} else {
+			idx = i + j*b.Interval/(b.L+1)
+		}
+		if idx == prev || idx >= seriesLen {
+			continue
+		}
+		prev = idx
+		out = append(out, idx)
+	}
+	return out
+}
+
+// Name implements Sampler.
+func (b BSS) Name() string { return "bss" }
+
+// Sample implements Sampler. The returned slice holds base samples
+// (Qualified=false) and kept extra samples (Qualified=true) in index
+// order.
+func (b BSS) Sample(f []float64) ([]Sample, error) {
+	if err := b.validate(); err != nil {
+		return nil, err
+	}
+	if len(f) == 0 {
+		return nil, fmt.Errorf("core: cannot sample an empty series")
+	}
+	pre := b.PreSamples
+	if pre == 0 {
+		pre = 10
+	}
+	out := make([]Sample, 0, len(f)/b.Interval+1)
+	var running stats.Accumulator
+	baseSeen := 0
+	ath := b.Threshold
+	for i := b.Offset; i < len(f); i += b.Interval {
+		v := f[i]
+		out = append(out, Sample{Index: i, Value: v})
+		running.Add(v)
+		baseSeen++
+		if b.Threshold == 0 {
+			// Adaptive rule: retune at each base sample, frozen during the
+			// extra probes below. No threshold until warm-up completes.
+			if baseSeen < pre {
+				continue
+			}
+			ath = b.Epsilon * running.Mean()
+		}
+		if v <= ath {
+			continue
+		}
+		// Trigger: probe the interval per the placement policy.
+		for _, idx := range b.probeOffsets(i, len(f)) {
+			if w := f[idx]; w > ath {
+				out = append(out, Sample{Index: idx, Value: w, Qualified: true})
+				running.Add(w)
+			}
+		}
+	}
+	return out, nil
+}
+
+// StreamBSS is the online form of BSS for router-style deployment: values
+// are offered one tick at a time and the sampler answers whether this tick
+// is recorded. It implements the same policy as BSS.Sample.
+//
+// The zero value is not usable; construct with NewStreamBSS.
+type StreamBSS struct {
+	cfg      BSS
+	tick     int
+	nextBase int
+	running  stats.Accumulator
+	baseSeen int
+	ath      float64
+	armed    bool  // adaptive threshold active
+	extras   []int // pending extra-probe ticks (ascending)
+}
+
+// NewStreamBSS validates cfg and returns a streaming sampler.
+func NewStreamBSS(cfg BSS) (*StreamBSS, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if cfg.PreSamples == 0 {
+		cfg.PreSamples = 10
+	}
+	return &StreamBSS{cfg: cfg, nextBase: cfg.Offset, ath: cfg.Threshold, armed: cfg.Threshold > 0}, nil
+}
+
+// Offer presents the next tick's value. It returns whether the value was
+// recorded and whether it was recorded as a qualified (extra) sample.
+func (s *StreamBSS) Offer(v float64) (kept, qualified bool) {
+	t := s.tick
+	s.tick++
+	if t == s.nextBase {
+		s.nextBase += s.cfg.Interval
+		s.extras = s.extras[:0]
+		s.running.Add(v)
+		s.baseSeen++
+		if s.cfg.Threshold == 0 {
+			if s.baseSeen >= s.cfg.PreSamples {
+				s.ath = s.cfg.Epsilon * s.running.Mean()
+				s.armed = true
+			}
+		}
+		if s.armed && v > s.ath {
+			// math.MaxInt as the series length: the stream has no end.
+			s.extras = append(s.extras, s.cfg.probeOffsets(t, math.MaxInt)...)
+		}
+		return true, false
+	}
+	if len(s.extras) > 0 && s.extras[0] == t {
+		s.extras = s.extras[1:]
+		if v > s.ath {
+			s.running.Add(v)
+			return true, true
+		}
+	}
+	return false, false
+}
+
+// Mean returns the running mean over all kept samples, the estimator the
+// adaptive threshold is built on.
+func (s *StreamBSS) Mean() float64 { return s.running.Mean() }
+
+// Kept returns how many samples have been recorded so far.
+func (s *StreamBSS) Kept() int { return s.running.N() }
+
+// Threshold returns the current a_th (0 until the warm-up completes in
+// adaptive mode).
+func (s *StreamBSS) Threshold() float64 {
+	if !s.armed {
+		return 0
+	}
+	return s.ath
+}
+
+var _ Sampler = BSS{}

@@ -1,0 +1,296 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/dist"
+	"repro/internal/stats"
+)
+
+func TestBSSValidation(t *testing.T) {
+	if _, err := NewBSS(0, 5, 1); err == nil {
+		t.Error("expected error for interval 0")
+	}
+	if _, err := NewBSS(10, -1, 1); err == nil {
+		t.Error("expected error for negative L")
+	}
+	if _, err := NewBSS(10, 0, 1); err != nil {
+		t.Errorf("L = 0 (degenerate to systematic) should be valid: %v", err)
+	}
+	if _, err := NewBSS(10, 5, 0); err == nil {
+		t.Error("expected error for adaptive without epsilon")
+	}
+	if _, err := NewBSSStatic(10, 5, -1); err == nil {
+		t.Error("expected error for negative threshold")
+	}
+	if _, err := (BSS{Interval: 10, L: 2, Epsilon: 1, Offset: 11}).Sample(seq(100)); err == nil {
+		t.Error("expected error for offset >= interval")
+	}
+	if _, err := (BSS{Interval: 10, L: 2, Epsilon: 1, PreSamples: -1}).Sample(seq(100)); err == nil {
+		t.Error("expected error for negative pre-samples")
+	}
+	b, err := NewBSS(10, 5, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Name() != "bss" {
+		t.Errorf("name = %q", b.Name())
+	}
+	if _, err := b.Sample(nil); err == nil {
+		t.Error("expected error for empty series")
+	}
+}
+
+func TestBSSStaticThresholdBehaviour(t *testing.T) {
+	// Construct a series where exactly one base sample exceeds the static
+	// threshold, with a burst after it.
+	f := make([]float64, 40)
+	for i := range f {
+		f[i] = 1
+	}
+	// Base samples at 0, 10, 20, 30 (C=10). Put a burst at 10..15.
+	for i := 10; i <= 15; i++ {
+		f[i] = 100
+	}
+	b, err := NewBSSStatic(10, 4, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := b.Sample(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, qualified := CountKinds(got)
+	if base != 4 {
+		t.Errorf("base samples = %d, want 4", base)
+	}
+	// Trigger at index 10; extra probes at 12, 14, 16, 18 (spacing
+	// C/(L+1) = 2). Values: f[12]=f[14]=100 qualified, f[16]=f[18]=1 not.
+	if qualified != 2 {
+		t.Errorf("qualified samples = %d, want 2", qualified)
+	}
+	for _, s := range got {
+		if s.Qualified && s.Value <= 50 {
+			t.Errorf("qualified sample %+v below threshold", s)
+		}
+		if s.Value != f[s.Index] {
+			t.Errorf("sample value mismatch at %d", s.Index)
+		}
+	}
+}
+
+func TestBSSIndicesSortedAndUnique(t *testing.T) {
+	rng := dist.NewRand(7)
+	p := dist.Pareto{Alpha: 1.3, Xm: 1}
+	f := make([]float64, 20000)
+	for i := range f {
+		f[i] = p.Sample(rng)
+	}
+	b, err := NewBSS(50, 10, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := b.Sample(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(got); i++ {
+		if got[i].Index <= got[i-1].Index {
+			t.Fatalf("indices not strictly increasing at %d: %d then %d", i, got[i-1].Index, got[i].Index)
+		}
+	}
+}
+
+func TestBSSImprovesHeavyTailedMeanEstimate(t *testing.T) {
+	// The headline claim: on heavy-tailed data at a low sampling rate,
+	// BSS with parameters designed per Eq. (23) estimates the real mean
+	// more accurately than plain systematic sampling with the same base
+	// schedule (total absolute error over instances).
+	rng := dist.NewRand(2024)
+	p := dist.Pareto{Alpha: 1.3, Xm: 1}
+	f := make([]float64, 1<<19)
+	for i := range f {
+		f[i] = p.Sample(rng)
+	}
+	real := MeanOf(mustSampleB(t, Systematic{Interval: 1}, f))
+	const c = 1000
+	const instances = 25
+	// First measure the typical systematic bias, then design L for it
+	// (epsilon = 1) the way the paper's online rule does.
+	etas := make([]float64, 0, instances)
+	var sysErr float64
+	for off := 0; off < instances; off++ {
+		sys := Systematic{Interval: c, Offset: off * c / instances}
+		e := Eta(MeanOf(mustSampleB(t, sys, f)), real)
+		etas = append(etas, e)
+		sysErr += math.Abs(e)
+	}
+	med, err := stats.Median(etas)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if med < 0.02 {
+		t.Fatalf("median systematic eta = %g; test requires visible under-estimation", med)
+	}
+	design, err := NewBSSDesign(1.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lf, err := design.LUnbiased(1.0, med)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l := int(lf + 0.5)
+	if l < 1 {
+		l = 1
+	}
+	var bssErr float64
+	for off := 0; off < instances; off++ {
+		b := BSS{Interval: c, Offset: off * c / instances, L: l, Epsilon: 1.0}
+		bssErr += math.Abs(Eta(MeanOf(mustSampleB(t, b, f)), real))
+	}
+	if bssErr >= sysErr {
+		t.Errorf("BSS total |eta| %g not better than systematic %g (L=%d)", bssErr, sysErr, l)
+	}
+}
+
+func TestBSSQualifiedFractionMatchesTheory(t *testing.T) {
+	// Overhead L'/N should track L*c^-2alpha for Pareto data with a static
+	// threshold.
+	alpha := 1.5
+	rng := dist.NewRand(99)
+	p := dist.Pareto{Alpha: alpha, Xm: 1}
+	f := make([]float64, 1<<20)
+	for i := range f {
+		f[i] = p.Sample(rng)
+	}
+	eps := 1.2
+	mean := p.Mean()
+	b, err := NewBSSStatic(100, 10, eps*mean)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := b.Sample(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	design, err := NewBSSDesign(alpha)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := design.QualifiedFraction(10, eps)
+	if oh := Overhead(got); math.Abs(oh-want)/want > 0.35 {
+		t.Errorf("overhead %g, theory %g", oh, want)
+	}
+}
+
+func TestBSSAdaptiveWarmup(t *testing.T) {
+	// With PreSamples = 5, the first 4 base samples must not trigger even
+	// if huge.
+	f := make([]float64, 100)
+	for i := range f {
+		f[i] = 1
+	}
+	f[0] = 1e9 // base sample 0, during warm-up
+	b := BSS{Interval: 10, L: 5, Epsilon: 1, PreSamples: 5}
+	got, err := b.Sample(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, qualified := CountKinds(got); qualified != 0 {
+		t.Errorf("warm-up trigger produced %d qualified samples", qualified)
+	}
+}
+
+func TestStreamBSSMatchesBatch(t *testing.T) {
+	rng := dist.NewRand(404)
+	p := dist.Pareto{Alpha: 1.4, Xm: 1}
+	f := make([]float64, 50000)
+	for i := range f {
+		f[i] = p.Sample(rng)
+	}
+	for _, cfg := range []BSS{
+		{Interval: 40, L: 6, Epsilon: 1.0},
+		{Interval: 25, L: 4, Threshold: 5},
+		{Interval: 100, L: 12, Epsilon: 1.3, PreSamples: 20},
+	} {
+		batch, err := cfg.Sample(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		stream, err := NewStreamBSS(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var online []Sample
+		for i, v := range f {
+			if kept, qualified := stream.Offer(v); kept {
+				online = append(online, Sample{Index: i, Value: v, Qualified: qualified})
+			}
+		}
+		if len(online) != len(batch) {
+			t.Fatalf("cfg %+v: stream kept %d, batch kept %d", cfg, len(online), len(batch))
+		}
+		for i := range batch {
+			if online[i] != batch[i] {
+				t.Fatalf("cfg %+v: sample %d differs: %+v vs %+v", cfg, i, online[i], batch[i])
+			}
+		}
+		if stream.Kept() != len(batch) {
+			t.Errorf("Kept() = %d, want %d", stream.Kept(), len(batch))
+		}
+		if math.Abs(stream.Mean()-MeanOf(batch)) > 1e-9 {
+			t.Errorf("stream mean %g vs batch %g", stream.Mean(), MeanOf(batch))
+		}
+	}
+}
+
+func TestStreamBSSValidation(t *testing.T) {
+	if _, err := NewStreamBSS(BSS{Interval: 0, L: 1, Epsilon: 1}); err == nil {
+		t.Error("expected error for invalid config")
+	}
+	s, err := NewStreamBSS(BSS{Interval: 10, L: 2, Epsilon: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Threshold() != 0 {
+		t.Error("threshold should be 0 before warm-up")
+	}
+}
+
+func mustSampleB(t *testing.T, s Sampler, f []float64) []Sample {
+	t.Helper()
+	got, err := s.Sample(f)
+	if err != nil {
+		t.Fatalf("%s: %v", s.Name(), err)
+	}
+	return got
+}
+
+func BenchmarkBSSSample1M(b *testing.B) {
+	rng := dist.NewRand(1)
+	p := dist.Pareto{Alpha: 1.3, Xm: 1}
+	f := make([]float64, 1<<20)
+	for i := range f {
+		f[i] = p.Sample(rng)
+	}
+	cfg := BSS{Interval: 1000, L: 10, Epsilon: 1}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := cfg.Sample(f); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSystematicSample1M(b *testing.B) {
+	f := make([]float64, 1<<20)
+	s := Systematic{Interval: 1000}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Sample(f); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,230 @@
+// Package core implements the paper's contribution: the three classic
+// traffic-sampling techniques (static systematic, stratified random,
+// simple random), the proposed Biased Systematic Sampling (BSS) with
+// static, unbiased, biased and online-adaptive parameterizations, the
+// renewal-process machinery behind the Sufficient-and-Necessary Condition
+// (Theorem 1) for Hurst-parameter preservation, the average-variance
+// evaluation of Theorem 2, and the full BSS parameter theory (bias ratio
+// xi, extra-sample count L, threshold ratio epsilon, overhead, and the
+// eta(r) convergence law).
+//
+// Samplers operate on a discrete traffic process f(t) represented as a
+// []float64 — "the traffic process measured at some fixed time
+// granularity" of the paper's Section II — and return the positions and
+// values they selected.
+package core
+
+import (
+	"fmt"
+	"math/rand/v2"
+	"sort"
+)
+
+// Sample is one selected observation of the parent process.
+type Sample struct {
+	Index     int     // position in the parent series
+	Value     float64 // f(Index)
+	Qualified bool    // true when taken as a BSS extra ("qualified") sample
+}
+
+// Sampler selects observations from a traffic series.
+type Sampler interface {
+	// Name identifies the technique (for reports and experiment tables).
+	Name() string
+	// Sample returns the selected observations in increasing index order.
+	Sample(f []float64) ([]Sample, error)
+}
+
+// Systematic is static systematic sampling: every Interval-th element is
+// selected deterministically, starting at Offset. Different Offsets give
+// the different "instances" whose spread Theorem 2 bounds.
+type Systematic struct {
+	Interval int // C >= 1
+	Offset   int // in [0, Interval)
+}
+
+// NewSystematic validates the parameters.
+func NewSystematic(interval, offset int) (Systematic, error) {
+	if interval < 1 {
+		return Systematic{}, fmt.Errorf("core: systematic interval %d must be >= 1", interval)
+	}
+	if offset < 0 || offset >= interval {
+		return Systematic{}, fmt.Errorf("core: systematic offset %d outside [0, %d)", offset, interval)
+	}
+	return Systematic{Interval: interval, Offset: offset}, nil
+}
+
+// Name implements Sampler.
+func (s Systematic) Name() string { return "systematic" }
+
+// Sample implements Sampler.
+func (s Systematic) Sample(f []float64) ([]Sample, error) {
+	if err := s.validate(); err != nil {
+		return nil, err
+	}
+	if len(f) == 0 {
+		return nil, fmt.Errorf("core: cannot sample an empty series")
+	}
+	out := make([]Sample, 0, len(f)/s.Interval+1)
+	for i := s.Offset; i < len(f); i += s.Interval {
+		out = append(out, Sample{Index: i, Value: f[i]})
+	}
+	return out, nil
+}
+
+func (s Systematic) validate() error {
+	if s.Interval < 1 {
+		return fmt.Errorf("core: systematic interval %d must be >= 1", s.Interval)
+	}
+	if s.Offset < 0 || s.Offset >= s.Interval {
+		return fmt.Errorf("core: systematic offset %d outside [0, %d)", s.Offset, s.Interval)
+	}
+	return nil
+}
+
+// Stratified is stratified random sampling: the time axis is divided into
+// strata of length Interval and one position is drawn uniformly inside
+// each stratum.
+type Stratified struct {
+	Interval int
+	Rng      *rand.Rand
+}
+
+// NewStratified validates the parameters.
+func NewStratified(interval int, rng *rand.Rand) (Stratified, error) {
+	if interval < 1 {
+		return Stratified{}, fmt.Errorf("core: stratified interval %d must be >= 1", interval)
+	}
+	if rng == nil {
+		return Stratified{}, fmt.Errorf("core: stratified sampling needs a random source")
+	}
+	return Stratified{Interval: interval, Rng: rng}, nil
+}
+
+// Name implements Sampler.
+func (s Stratified) Name() string { return "stratified" }
+
+// Sample implements Sampler.
+func (s Stratified) Sample(f []float64) ([]Sample, error) {
+	if s.Interval < 1 {
+		return nil, fmt.Errorf("core: stratified interval %d must be >= 1", s.Interval)
+	}
+	if s.Rng == nil {
+		return nil, fmt.Errorf("core: stratified sampling needs a random source")
+	}
+	if len(f) == 0 {
+		return nil, fmt.Errorf("core: cannot sample an empty series")
+	}
+	out := make([]Sample, 0, len(f)/s.Interval+1)
+	for start := 0; start+s.Interval <= len(f); start += s.Interval {
+		idx := start + s.Rng.IntN(s.Interval)
+		out = append(out, Sample{Index: idx, Value: f[idx]})
+	}
+	return out, nil
+}
+
+// SimpleRandom is simple random sampling: N positions drawn uniformly
+// without replacement from the whole series.
+type SimpleRandom struct {
+	N   int
+	Rng *rand.Rand
+}
+
+// NewSimpleRandom validates the parameters.
+func NewSimpleRandom(n int, rng *rand.Rand) (SimpleRandom, error) {
+	if n < 1 {
+		return SimpleRandom{}, fmt.Errorf("core: simple random sample size %d must be >= 1", n)
+	}
+	if rng == nil {
+		return SimpleRandom{}, fmt.Errorf("core: simple random sampling needs a random source")
+	}
+	return SimpleRandom{N: n, Rng: rng}, nil
+}
+
+// Name implements Sampler.
+func (s SimpleRandom) Name() string { return "simple-random" }
+
+// Sample implements Sampler. Selection uses a partial Fisher-Yates over
+// the index set, O(len(f)) memory and O(N) swaps, then sorts the chosen
+// indices.
+func (s SimpleRandom) Sample(f []float64) ([]Sample, error) {
+	if s.N < 1 {
+		return nil, fmt.Errorf("core: simple random sample size %d must be >= 1", s.N)
+	}
+	if s.Rng == nil {
+		return nil, fmt.Errorf("core: simple random sampling needs a random source")
+	}
+	if len(f) == 0 {
+		return nil, fmt.Errorf("core: cannot sample an empty series")
+	}
+	n := s.N
+	if n > len(f) {
+		return nil, fmt.Errorf("core: sample size %d exceeds population %d", n, len(f))
+	}
+	idx := make([]int, len(f))
+	for i := range idx {
+		idx[i] = i
+	}
+	for i := 0; i < n; i++ {
+		j := i + s.Rng.IntN(len(idx)-i)
+		idx[i], idx[j] = idx[j], idx[i]
+	}
+	chosen := idx[:n]
+	sort.Ints(chosen)
+	out := make([]Sample, n)
+	for i, k := range chosen {
+		out[i] = Sample{Index: k, Value: f[k]}
+	}
+	return out, nil
+}
+
+// Bernoulli is probabilistic 1-in-1/Rate sampling: each element is selected
+// independently with probability Rate. Its inter-sample gaps follow the
+// geometric law of the paper's Eq. (13), making it the event-driven
+// counterpart of SimpleRandom.
+type Bernoulli struct {
+	Rate float64
+	Rng  *rand.Rand
+}
+
+// NewBernoulli validates the parameters.
+func NewBernoulli(rate float64, rng *rand.Rand) (Bernoulli, error) {
+	if !(rate > 0) || rate > 1 {
+		return Bernoulli{}, fmt.Errorf("core: Bernoulli rate %g outside (0,1]", rate)
+	}
+	if rng == nil {
+		return Bernoulli{}, fmt.Errorf("core: Bernoulli sampling needs a random source")
+	}
+	return Bernoulli{Rate: rate, Rng: rng}, nil
+}
+
+// Name implements Sampler.
+func (s Bernoulli) Name() string { return "bernoulli" }
+
+// Sample implements Sampler.
+func (s Bernoulli) Sample(f []float64) ([]Sample, error) {
+	if !(s.Rate > 0) || s.Rate > 1 {
+		return nil, fmt.Errorf("core: Bernoulli rate %g outside (0,1]", s.Rate)
+	}
+	if s.Rng == nil {
+		return nil, fmt.Errorf("core: Bernoulli sampling needs a random source")
+	}
+	if len(f) == 0 {
+		return nil, fmt.Errorf("core: cannot sample an empty series")
+	}
+	out := make([]Sample, 0, int(float64(len(f))*s.Rate)+1)
+	for i, v := range f {
+		if s.Rng.Float64() < s.Rate {
+			out = append(out, Sample{Index: i, Value: v})
+		}
+	}
+	return out, nil
+}
+
+// Interface compliance checks.
+var (
+	_ Sampler = Systematic{}
+	_ Sampler = Stratified{}
+	_ Sampler = SimpleRandom{}
+	_ Sampler = Bernoulli{}
+)

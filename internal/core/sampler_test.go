@@ -1,0 +1,267 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func seq(n int) []float64 {
+	f := make([]float64, n)
+	for i := range f {
+		f[i] = float64(i)
+	}
+	return f
+}
+
+func TestSystematicValidation(t *testing.T) {
+	if _, err := NewSystematic(0, 0); err == nil {
+		t.Error("expected error for interval 0")
+	}
+	if _, err := NewSystematic(4, 4); err == nil {
+		t.Error("expected error for offset == interval")
+	}
+	if _, err := NewSystematic(4, -1); err == nil {
+		t.Error("expected error for negative offset")
+	}
+	s, err := NewSystematic(4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Name() != "systematic" {
+		t.Errorf("name = %q", s.Name())
+	}
+	if _, err := (Systematic{Interval: 0}).Sample(seq(8)); err == nil {
+		t.Error("Sample should re-validate")
+	}
+	if _, err := s.Sample(nil); err == nil {
+		t.Error("expected error for empty series")
+	}
+}
+
+func TestSystematicIndices(t *testing.T) {
+	s := Systematic{Interval: 3, Offset: 1}
+	got, err := s.Sample(seq(10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantIdx := []int{1, 4, 7}
+	if len(got) != len(wantIdx) {
+		t.Fatalf("got %d samples, want %d", len(got), len(wantIdx))
+	}
+	for i, w := range wantIdx {
+		if got[i].Index != w || got[i].Value != float64(w) || got[i].Qualified {
+			t.Errorf("sample %d = %+v, want index %d", i, got[i], w)
+		}
+	}
+}
+
+func TestSystematicDeterministic(t *testing.T) {
+	f := seq(100)
+	s := Systematic{Interval: 7}
+	a, _ := s.Sample(f)
+	b, _ := s.Sample(f)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("systematic sampling must be deterministic")
+		}
+	}
+}
+
+func TestStratifiedOnePerStratum(t *testing.T) {
+	prop := func(seed uint64, cRaw uint8) bool {
+		c := int(cRaw%16) + 1
+		s, err := NewStratified(c, newRand(seed))
+		if err != nil {
+			return false
+		}
+		f := seq(16 * c)
+		got, err := s.Sample(f)
+		if err != nil {
+			return false
+		}
+		if len(got) != 16 {
+			return false
+		}
+		for i, smp := range got {
+			if smp.Index < i*c || smp.Index >= (i+1)*c {
+				return false
+			}
+			if smp.Value != f[smp.Index] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestStratifiedValidation(t *testing.T) {
+	if _, err := NewStratified(0, newRand(1)); err == nil {
+		t.Error("expected error for interval 0")
+	}
+	if _, err := NewStratified(4, nil); err == nil {
+		t.Error("expected error for nil rng")
+	}
+	s, _ := NewStratified(4, newRand(1))
+	if s.Name() != "stratified" {
+		t.Errorf("name = %q", s.Name())
+	}
+	if _, err := s.Sample(nil); err == nil {
+		t.Error("expected error for empty series")
+	}
+	if _, err := (Stratified{Interval: 2}).Sample(seq(8)); err == nil {
+		t.Error("expected error for nil rng at sample time")
+	}
+}
+
+func TestSimpleRandomWithoutReplacement(t *testing.T) {
+	prop := func(seed uint64, nRaw uint8) bool {
+		n := int(nRaw%50) + 1
+		s, err := NewSimpleRandom(n, newRand(seed))
+		if err != nil {
+			return false
+		}
+		f := seq(200)
+		got, err := s.Sample(f)
+		if err != nil || len(got) != n {
+			return false
+		}
+		seen := make(map[int]bool, n)
+		last := -1
+		for _, smp := range got {
+			if seen[smp.Index] || smp.Index <= last || smp.Index >= len(f) {
+				return false
+			}
+			seen[smp.Index] = true
+			last = smp.Index
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSimpleRandomValidation(t *testing.T) {
+	if _, err := NewSimpleRandom(0, newRand(1)); err == nil {
+		t.Error("expected error for n = 0")
+	}
+	if _, err := NewSimpleRandom(5, nil); err == nil {
+		t.Error("expected error for nil rng")
+	}
+	s, _ := NewSimpleRandom(10, newRand(1))
+	if s.Name() != "simple-random" {
+		t.Errorf("name = %q", s.Name())
+	}
+	if _, err := s.Sample(seq(5)); err == nil {
+		t.Error("expected error for n > population")
+	}
+	if _, err := s.Sample(nil); err == nil {
+		t.Error("expected error for empty series")
+	}
+}
+
+func TestSimpleRandomUniformCoverage(t *testing.T) {
+	// Every position should be picked roughly equally often.
+	const popLen, picks, reps = 50, 10, 4000
+	counts := make([]int, popLen)
+	f := seq(popLen)
+	for r := 0; r < reps; r++ {
+		s, _ := NewSimpleRandom(picks, newRand(uint64(r)))
+		got, err := s.Sample(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, smp := range got {
+			counts[smp.Index]++
+		}
+	}
+	want := float64(picks*reps) / popLen
+	for i, c := range counts {
+		if math.Abs(float64(c)-want) > want*0.25 {
+			t.Errorf("position %d picked %d times, want ~%.0f", i, c, want)
+		}
+	}
+}
+
+func TestBernoulliSampling(t *testing.T) {
+	if _, err := NewBernoulli(0, newRand(1)); err == nil {
+		t.Error("expected error for rate 0")
+	}
+	if _, err := NewBernoulli(1.5, newRand(1)); err == nil {
+		t.Error("expected error for rate > 1")
+	}
+	if _, err := NewBernoulli(0.5, nil); err == nil {
+		t.Error("expected error for nil rng")
+	}
+	b, _ := NewBernoulli(0.25, newRand(3))
+	if b.Name() != "bernoulli" {
+		t.Errorf("name = %q", b.Name())
+	}
+	f := seq(100000)
+	got, err := b.Sample(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := float64(len(got)); math.Abs(n-25000) > 1000 {
+		t.Errorf("kept %g samples, want ~25000", n)
+	}
+	if _, err := b.Sample(nil); err == nil {
+		t.Error("expected error for empty series")
+	}
+	if _, err := (Bernoulli{Rate: 0.5}).Sample(f); err == nil {
+		t.Error("expected error for nil rng at sample time")
+	}
+}
+
+func TestBernoulliGapsAreGeometric(t *testing.T) {
+	// Eq. (13): gap law Pr(T=k) = (1-r)^(k-1) r; the mean gap is 1/r.
+	b, _ := NewBernoulli(0.2, newRand(9))
+	got, err := b.Sample(seq(200000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sum float64
+	for i := 1; i < len(got); i++ {
+		sum += float64(got[i].Index - got[i-1].Index)
+	}
+	meanGap := sum / float64(len(got)-1)
+	if math.Abs(meanGap-5) > 0.2 {
+		t.Errorf("mean gap %g, want ~5", meanGap)
+	}
+}
+
+func TestAllSamplersAreUnbiasedOnIID(t *testing.T) {
+	// On light-tailed i.i.d. data every technique estimates the mean well —
+	// the paper's point is that this breaks for heavy tails, not here.
+	rng := newRand(1234)
+	f := make([]float64, 100000)
+	for i := range f {
+		f[i] = rng.Float64() * 10
+	}
+	trueMean := MeanOf(mustSample(t, Systematic{Interval: 1}, f))
+	samplers := []Sampler{
+		Systematic{Interval: 100, Offset: 13},
+		Stratified{Interval: 100, Rng: newRand(5)},
+		SimpleRandom{N: 1000, Rng: newRand(6)},
+		Bernoulli{Rate: 0.01, Rng: newRand(7)},
+	}
+	for _, s := range samplers {
+		m := MeanOf(mustSample(t, s, f))
+		if math.Abs(m-trueMean) > 0.35 {
+			t.Errorf("%s: mean %g vs true %g", s.Name(), m, trueMean)
+		}
+	}
+}
+
+func mustSample(t *testing.T, s Sampler, f []float64) []Sample {
+	t.Helper()
+	got, err := s.Sample(f)
+	if err != nil {
+		t.Fatalf("%s: %v", s.Name(), err)
+	}
+	return got
+}

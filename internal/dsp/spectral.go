@@ -1,0 +1,42 @@
+package dsp
+
+import (
+	"fmt"
+	"math"
+)
+
+// Periodogram returns the one-sided periodogram of x at the Fourier
+// frequencies lambda_k = 2*pi*k/n for k = 1 .. floor(n/2):
+//
+//	I(lambda_k) = |sum_j x[j] exp(-i*j*lambda_k)|^2 / (2*pi*n)
+//
+// The zero frequency (the mean) is excluded. The returned slices hold the
+// frequencies and the corresponding ordinates.
+func Periodogram(x []float64) (freqs, power []float64, err error) {
+	n := len(x)
+	if n < 4 {
+		return nil, nil, fmt.Errorf("dsp: periodogram needs at least 4 points, got %d", n)
+	}
+	// Remove the sample mean so leakage from frequency zero does not bias
+	// the low-frequency ordinates the Hurst estimator regresses on.
+	mean := 0.0
+	for _, v := range x {
+		mean += v
+	}
+	mean /= float64(n)
+	c := make([]complex128, n)
+	for i, v := range x {
+		c[i] = complex(v-mean, 0)
+	}
+	fftInPlace(c, false)
+	half := n / 2
+	freqs = make([]float64, half)
+	power = make([]float64, half)
+	norm := 1 / (2 * math.Pi * float64(n))
+	for k := 1; k <= half; k++ {
+		re, im := real(c[k]), imag(c[k])
+		freqs[k-1] = 2 * math.Pi * float64(k) / float64(n)
+		power[k-1] = (re*re + im*im) * norm
+	}
+	return freqs, power, nil
+}

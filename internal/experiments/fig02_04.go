@@ -1,0 +1,203 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/core"
+	"repro/internal/lrd"
+	"repro/internal/stats"
+)
+
+// Fig02Result reproduces Figure 2: the autocorrelation of the
+// simple-random-sampled process computed analytically from Eq. (10)/(11),
+// (a) the log-log points and fitted line for beta = 0.1, and (b) the
+// recovered beta-hat across the LRD range.
+type Fig02Result struct {
+	Rho      float64   // per-element selection probability
+	Log2Tau  []float64 // panel (a) abscissae
+	Log2Rg   []float64 // panel (a) ordinates
+	FitA     stats.LineFit
+	BetaA    float64   // the true beta of panel (a)
+	Betas    []float64 // panel (b) sweep
+	BetaHats []float64
+}
+
+// Fig02 evaluates Eq. (10) over the paper's tau range (log2 tau in
+// [6.5, 9]) and fits the decay exponent.
+func Fig02(s Scale) (*Fig02Result, error) {
+	res := &Fig02Result{Rho: 0.5, BetaA: 0.1}
+	maxTau := 512
+	if s == ScaleSmall {
+		maxTau = 256
+	}
+	taus := make([]int, 0, 24)
+	for tau := 90; tau <= maxTau; tau += (maxTau - 90) / 16 {
+		taus = append(taus, tau)
+	}
+	// Panel (a): beta = 0.1, const chosen like the paper's (intercept ~7).
+	acfA := lrd.PowerLawACF{Const: 150, Beta: res.BetaA}
+	for _, tau := range taus {
+		rg, err := core.NegBinomialRg(acfA, res.Rho, tau)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: fig02 panel a: %w", err)
+		}
+		res.Log2Tau = append(res.Log2Tau, math.Log2(float64(tau)))
+		res.Log2Rg = append(res.Log2Rg, math.Log2(rg))
+	}
+	fit, err := stats.FitLine(res.Log2Tau, res.Log2Rg)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: fig02 fit: %w", err)
+	}
+	res.FitA = fit
+	// Panel (b): sweep beta.
+	for beta := 0.1; beta < 0.85; beta += 0.1 {
+		acf := lrd.PowerLawACF{Const: 150, Beta: beta}
+		var lx, ly []float64
+		for _, tau := range taus {
+			rg, err := core.NegBinomialRg(acf, res.Rho, tau)
+			if err != nil {
+				return nil, fmt.Errorf("experiments: fig02 beta=%.1f: %w", beta, err)
+			}
+			lx = append(lx, math.Log(float64(tau)))
+			ly = append(ly, math.Log(rg))
+		}
+		f, err := stats.FitLine(lx, ly)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: fig02 beta=%.1f fit: %w", beta, err)
+		}
+		res.Betas = append(res.Betas, beta)
+		res.BetaHats = append(res.BetaHats, -f.Slope)
+	}
+	return res, nil
+}
+
+// Render implements Renderer.
+func (r *Fig02Result) Render() string {
+	ta := newTable(
+		fmt.Sprintf("Figure 2(a): simple random sampling, Eq.(10), beta=%.1f, rho=%.2f; fitted slope %.3f (paper: -0.08), intercept %.2f",
+			r.BetaA, r.Rho, r.FitA.Slope, r.FitA.Intercept),
+		"log2(tau)", "log2(Rg)", "fit")
+	for i := range r.Log2Tau {
+		ta.addRow(fnum(r.Log2Tau[i]), fnum(r.Log2Rg[i]), fnum(r.FitA.Eval(r.Log2Tau[i])))
+	}
+	tb := newTable("Figure 2(b): estimated beta vs real beta (simple random, analytic)",
+		"beta", "betaHat", "abs err")
+	for i := range r.Betas {
+		tb.addRow(fnum(r.Betas[i]), fnum(r.BetaHats[i]), fnum(math.Abs(r.Betas[i]-r.BetaHats[i])))
+	}
+	return ta.String() + "\n" + tb.String()
+}
+
+// Fig03Result reproduces Figure 3: the numerical SNC check (Theorem 1 via
+// the FFT method S1-S3) applied to stratified random and simple random
+// sampling across the beta range.
+type Fig03Result struct {
+	Betas          []float64
+	StratifiedHats []float64
+	BernoulliHats  []float64
+	Interval       int
+}
+
+// Fig03 runs CheckSNC for both gap laws at every beta.
+func Fig03(s Scale) (*Fig03Result, error) {
+	res := &Fig03Result{Interval: 8}
+	maxTau := 96
+	if s == ScaleFull {
+		maxTau = 160
+	}
+	taus := make([]int, 0, 20)
+	for tau := 8; tau <= maxTau; tau += 8 {
+		taus = append(taus, tau)
+	}
+	strat, err := core.StratifiedPMF(res.Interval)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: fig03: %w", err)
+	}
+	bern, err := core.BernoulliPMF(1/float64(res.Interval), 1e-12)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: fig03: %w", err)
+	}
+	for beta := 0.1; beta < 0.85; beta += 0.1 {
+		acf := lrd.PowerLawACF{Const: 1, Beta: beta}
+		rs, err := core.CheckSNC(strat, acf, taus)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: fig03 stratified beta=%.1f: %w", beta, err)
+		}
+		rb, err := core.CheckSNC(bern, acf, taus)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: fig03 bernoulli beta=%.1f: %w", beta, err)
+		}
+		res.Betas = append(res.Betas, beta)
+		res.StratifiedHats = append(res.StratifiedHats, rs.BetaHat)
+		res.BernoulliHats = append(res.BernoulliHats, rb.BetaHat)
+	}
+	return res, nil
+}
+
+// Render implements Renderer.
+func (r *Fig03Result) Render() string {
+	t := newTable(fmt.Sprintf("Figure 3: SNC (Theorem 1, FFT method) estimated beta, C=%d", r.Interval),
+		"beta", "stratified betaHat", "simple-random betaHat")
+	for i := range r.Betas {
+		t.addRow(fnum(r.Betas[i]), fnum(r.StratifiedHats[i]), fnum(r.BernoulliHats[i]))
+	}
+	return t.String()
+}
+
+// Fig04Result reproduces Figure 4: the convexity delta_tau of the LRD
+// autocorrelation for several beta, the hypothesis of Theorem 2.
+type Fig04Result struct {
+	Taus           []int
+	Betas          []float64
+	Deltas         [][]float64 // [beta][tau]
+	AllNonnegative bool
+}
+
+// Fig04 computes delta_tau on the exact fGn ACF.
+func Fig04(s Scale) (*Fig04Result, error) {
+	maxTau := 100
+	if s == ScaleFull {
+		maxTau = 200
+	}
+	res := &Fig04Result{Betas: []float64{0.1, 0.3, 0.5, 0.7, 0.9}, AllNonnegative: true}
+	for tau := 1; tau <= maxTau; tau = tau*3/2 + 1 {
+		res.Taus = append(res.Taus, tau)
+	}
+	for _, beta := range res.Betas {
+		acf, err := lrd.NewFGNACF(lrd.HFromBeta(beta))
+		if err != nil {
+			return nil, fmt.Errorf("experiments: fig04 beta=%.1f: %w", beta, err)
+		}
+		row := make([]float64, len(res.Taus))
+		for i, tau := range res.Taus {
+			row[i] = acf.Delta(tau)
+			if row[i] < 0 {
+				res.AllNonnegative = false
+			}
+		}
+		res.Deltas = append(res.Deltas, row)
+	}
+	return res, nil
+}
+
+// Render implements Renderer.
+func (r *Fig04Result) Render() string {
+	t := newTable(fmt.Sprintf("Figure 4: delta_tau = R(tau+1)+R(tau-1)-2R(tau) (all nonnegative: %v)", r.AllNonnegative),
+		append([]string{"tau"}, func() []string {
+			hs := make([]string, len(r.Betas))
+			for i, b := range r.Betas {
+				hs[i] = fmt.Sprintf("beta=%.1f", b)
+			}
+			return hs
+		}()...)...)
+	for i, tau := range r.Taus {
+		cells := make([]string, 0, len(r.Betas)+1)
+		cells = append(cells, fmt.Sprintf("%d", tau))
+		for j := range r.Betas {
+			cells = append(cells, fnum(r.Deltas[j][i]))
+		}
+		t.addRow(cells...)
+	}
+	return t.String()
+}

@@ -1,0 +1,171 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/dist"
+	"repro/internal/traffic"
+)
+
+// TailPanel is one trace's CCDF tail fit.
+type TailPanel struct {
+	Trace   string
+	Epsilon float64 // threshold multiplier (burst figures only)
+	Alpha   float64 // fitted Pareto shape
+	R2      float64 // log-log fit quality
+	Points  int     // observations behind the fit
+	CCDFX   []float64
+	CCDFY   []float64
+}
+
+// Fig07Result reproduces Figure 7: the CCDF of the 1-burst period B (time
+// continuously above a_th = eps * mean) is heavy-tailed on both traces.
+type Fig07Result struct {
+	Panels []TailPanel
+	// EpsSweep verifies the paper's claim that alpha moves only mildly
+	// (1.2..1.8) as eps varies from 0.3 to 1.5.
+	EpsSweep    []float64
+	AlphaPerEps [][2]float64 // {synthetic alpha, real alpha} per eps
+}
+
+// burstTail measures and fits the on-period tail of one trace.
+func burstTail(f []float64, mean, eps float64, name string) (TailPanel, error) {
+	b := traffic.OnPeriods(f, eps*mean)
+	if len(b) < 30 {
+		return TailPanel{}, fmt.Errorf("experiments: only %d bursts above %.3g on %s trace", len(b), eps*mean, name)
+	}
+	fit, err := dist.FitParetoTail(b, 0.5)
+	if err != nil {
+		return TailPanel{}, fmt.Errorf("experiments: burst tail fit (%s): %w", name, err)
+	}
+	panel := TailPanel{Trace: name, Epsilon: eps, Alpha: fit.Alpha, R2: fit.Fit.R2, Points: len(b)}
+	panel.CCDFX, panel.CCDFY = ccdfSample(b, 12)
+	return panel, nil
+}
+
+// ccdfSample returns up to k log-spaced points of the empirical CCDF.
+func ccdfSample(sample []float64, k int) (xs, ys []float64) {
+	sorted := traffic.SortedCopy(sample)
+	n := len(sorted)
+	for i := 0; i < k; i++ {
+		idx := i * (n - 1) / (k - 1)
+		v := sorted[idx]
+		// P(X > v): fraction strictly above.
+		above := 0
+		for j := n - 1; j >= 0 && sorted[j] > v; j-- {
+			above++
+		}
+		if above == 0 {
+			continue
+		}
+		xs = append(xs, v)
+		ys = append(ys, float64(above)/float64(n))
+	}
+	return xs, ys
+}
+
+// Fig07 fits the burst-length tails at eps = 0.5 and sweeps eps.
+func Fig07(s Scale) (*Fig07Result, error) {
+	syn, synInfo, err := SyntheticTrace(s)
+	if err != nil {
+		return nil, err
+	}
+	real, realInfo, err := RealTrace(s)
+	if err != nil {
+		return nil, err
+	}
+	res := &Fig07Result{}
+	p, err := burstTail(syn, synInfo.Mean, 0.5, "synthetic")
+	if err != nil {
+		return nil, err
+	}
+	res.Panels = append(res.Panels, p)
+	p, err = burstTail(real, realInfo.Mean, 0.5, "real")
+	if err != nil {
+		return nil, err
+	}
+	res.Panels = append(res.Panels, p)
+	for _, eps := range []float64{0.3, 0.7, 1.1, 1.5} {
+		ps, err1 := burstTail(syn, synInfo.Mean, eps, "synthetic")
+		pr, err2 := burstTail(real, realInfo.Mean, eps, "real")
+		if err1 != nil || err2 != nil {
+			continue // high thresholds can run out of bursts at small scale
+		}
+		res.EpsSweep = append(res.EpsSweep, eps)
+		res.AlphaPerEps = append(res.AlphaPerEps, [2]float64{ps.Alpha, pr.Alpha})
+	}
+	return res, nil
+}
+
+// Render implements Renderer.
+func (r *Fig07Result) Render() string {
+	out := ""
+	for i, p := range r.Panels {
+		t := newTable(fmt.Sprintf("Figure 7(%c): CCDF of 1-burst period B, %s trace, eps=%.1f; fitted Pareto alpha=%.2f (paper: 1.3 syn / 1.65 real), R2=%.3f, %d bursts",
+			'a'+i, p.Trace, p.Epsilon, p.Alpha, p.R2, p.Points),
+			"burst length", "CCDF")
+		for j := range p.CCDFX {
+			t.addRow(fnum(p.CCDFX[j]), fnum(p.CCDFY[j]))
+		}
+		out += t.String() + "\n"
+	}
+	if len(r.EpsSweep) > 0 {
+		t := newTable("Figure 7 (sweep): burst tail alpha vs eps (paper: mild variation, 1.2-1.8)",
+			"eps", "alpha synthetic", "alpha real")
+		for i, eps := range r.EpsSweep {
+			t.addRow(fnum(eps), fnum(r.AlphaPerEps[i][0]), fnum(r.AlphaPerEps[i][1]))
+		}
+		out += t.String()
+	}
+	return out
+}
+
+// Fig08Result reproduces Figure 8: the marginal CCDF of f(t) itself fits a
+// Pareto on both traces (alpha = 1.5 synthetic, 1.71 real).
+type Fig08Result struct {
+	Panels []TailPanel
+}
+
+// Fig08 fits the marginal tails.
+func Fig08(s Scale) (*Fig08Result, error) {
+	res := &Fig08Result{}
+	for _, tc := range []struct {
+		name string
+		get  func(Scale) ([]float64, TraceInfo, error)
+	}{{"synthetic", SyntheticTrace}, {"real", RealTrace}} {
+		f, info, err := tc.get(s)
+		if err != nil {
+			return nil, err
+		}
+		positive := make([]float64, 0, len(f))
+		for _, v := range f {
+			if v > 0 {
+				positive = append(positive, v)
+			}
+		}
+		fit, err := dist.FitParetoTail(positive, 0.3)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: fig08 (%s): %w", tc.name, err)
+		}
+		panel := TailPanel{Trace: tc.name, Alpha: fit.Alpha, R2: fit.Fit.R2, Points: len(positive)}
+		panel.CCDFX, panel.CCDFY = ccdfSample(positive, 12)
+		_ = info
+		res.Panels = append(res.Panels, panel)
+	}
+	return res, nil
+}
+
+// Render implements Renderer.
+func (r *Fig08Result) Render() string {
+	out := ""
+	for i, p := range r.Panels {
+		t := newTable(fmt.Sprintf("Figure 8(%c): CCDF of f(t), %s trace; fitted Pareto alpha=%.2f (paper: 1.5 syn / 1.71 real), R2=%.3f",
+			'a'+i, p.Trace, p.Alpha, p.R2),
+			"f(t)", "CCDF")
+		for j := range p.CCDFX {
+			t.addRow(fnum(p.CCDFX[j]), fnum(p.CCDFY[j]))
+		}
+		out += t.String() + "\n"
+	}
+	return out
+}

@@ -1,0 +1,254 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/dist"
+	"repro/internal/stats"
+	"repro/internal/traffic"
+)
+
+// TraceInfo describes one of the two evaluation workloads.
+type TraceInfo struct {
+	Name        string
+	Mean        float64 // exact mean of the series (the "real mean")
+	MarginAlpha float64 // design tail index of the marginal f(t)
+	HurstDesign float64 // target Hurst parameter
+	Cs          float64 // calibrated constant of the eta(r) law (Eq. 35)
+	Len         int
+}
+
+// syntheticSeed and realSeed pin the workloads; every figure sees the same
+// traces the way the paper reuses its two trace sets.
+const (
+	syntheticSeed = 20050608
+	realSeed      = 20000308 // the Bell Labs trace was captured 2000-03-08
+)
+
+// syntheticConfig mirrors the paper's ns-2 workload: superposed Pareto
+// ON/OFF sources (alpha = 1.3 for Figures 18/20, H = 0.85 regime) with
+// heavy-tailed per-burst rates so the marginal matches Figure 8(a)
+// (alpha ~ 1.5), rescaled to the paper's 5.68 kB/s mean.
+func syntheticConfig(ticks int) traffic.OnOffConfig {
+	return traffic.OnOffConfig{
+		Sources:   12,
+		AlphaOn:   1.3,
+		AlphaOff:  1.5,
+		MeanOn:    5,
+		MeanOff:   300,
+		Rate:      1,
+		RateAlpha: 1.5,
+		Ticks:     ticks,
+	}
+}
+
+// realConfig mirrors the Bell Labs trace substitute: hundreds of OD pairs,
+// Pareto burst durations (alpha = 1.76 -> H ~ 0.62), heterogeneous burst
+// rates (marginal alpha ~ 1.71, Figure 8(b)), aggregate 1.21e4 bytes/s.
+func realConfig(duration float64) traffic.SynthConfig {
+	return traffic.SynthConfig{
+		Pairs:     200,
+		Duration:  duration,
+		AlphaOn:   1.76,
+		MeanOn:    0.5,
+		MeanOff:   120,
+		MeanRate:  5e5,
+		RateAlpha: 1.6,
+	}
+}
+
+// realGranularity is the binning step for the packet trace (seconds).
+const realGranularity = 0.02
+
+type cachedTrace struct {
+	once sync.Once
+	f    []float64
+	info TraceInfo
+	err  error
+}
+
+var traceCache = struct {
+	mu sync.Mutex
+	m  map[string]*cachedTrace
+}{m: make(map[string]*cachedTrace)}
+
+func cached(key string, build func() ([]float64, TraceInfo, error)) ([]float64, TraceInfo, error) {
+	traceCache.mu.Lock()
+	entry, ok := traceCache.m[key]
+	if !ok {
+		entry = &cachedTrace{}
+		traceCache.m[key] = entry
+	}
+	traceCache.mu.Unlock()
+	entry.once.Do(func() {
+		entry.f, entry.info, entry.err = build()
+	})
+	return entry.f, entry.info, entry.err
+}
+
+// SyntheticTrace returns the cached synthetic ON/OFF workload at the given
+// scale, scaled to the paper's 5.68 kB/s mean.
+func SyntheticTrace(s Scale) ([]float64, TraceInfo, error) {
+	ticks := 1 << 17
+	if s == ScaleFull {
+		ticks = 1 << 20
+	}
+	return cached(fmt.Sprintf("synthetic-%s", s), func() ([]float64, TraceInfo, error) {
+		cfg := syntheticConfig(ticks)
+		f, err := traffic.GenerateOnOff(cfg, dist.NewRand(syntheticSeed))
+		if err != nil {
+			return nil, TraceInfo{}, fmt.Errorf("experiments: synthetic trace: %w", err)
+		}
+		const alpha = 1.5
+		if err := applyBaseLoad(f, 5.68, alpha); err != nil {
+			return nil, TraceInfo{}, fmt.Errorf("experiments: synthetic trace: %w", err)
+		}
+		info := TraceInfo{
+			Name:        "synthetic",
+			Mean:        stats.Mean(f),
+			MarginAlpha: alpha,
+			HurstDesign: cfg.Hurst(),
+			Len:         len(f),
+		}
+		info.Cs = calibrateCs(f, info.Mean, info.MarginAlpha)
+		return f, info, nil
+	})
+}
+
+// RealTrace returns the cached Bell-Labs-substitute workload: an OD-flow
+// packet trace binned at 10 ms into a bytes/second process.
+func RealTrace(s Scale) ([]float64, TraceInfo, error) {
+	duration := 600.0
+	if s == ScaleFull {
+		duration = 2400 // the Bell Labs capture is ~40 minutes
+	}
+	return cached(fmt.Sprintf("real-%s", s), func() ([]float64, TraceInfo, error) {
+		cfg := realConfig(duration)
+		pkts, err := traffic.SynthesizeTrace(cfg, dist.NewRand(realSeed))
+		if err != nil {
+			return nil, TraceInfo{}, fmt.Errorf("experiments: real-like trace: %w", err)
+		}
+		f, err := traffic.BinBytes(pkts, realGranularity, duration)
+		if err != nil {
+			return nil, TraceInfo{}, fmt.Errorf("experiments: binning real-like trace: %w", err)
+		}
+		const alpha = 1.71
+		if err := applyBaseLoad(f, 1.21e4, alpha); err != nil {
+			return nil, TraceInfo{}, fmt.Errorf("experiments: real-like trace: %w", err)
+		}
+		info := TraceInfo{
+			Name:        "real",
+			Mean:        stats.Mean(f),
+			MarginAlpha: alpha,
+			HurstDesign: cfg.Hurst(),
+			Len:         len(f),
+		}
+		info.Cs = calibrateCs(f, info.Mean, info.MarginAlpha)
+		return f, info, nil
+	})
+}
+
+// calibrateCs measures the Cs constant of the eta(r) law (Eq. 35) from the
+// trace itself: the median systematic-sampling bias at a reference rate
+// (measured over the same spread-offset instance schedule the experiments
+// use), divided by r^(1/alpha-1). The paper quotes Cs in (0.2, 0.35), but
+// that range is inconsistent with eta <= 1 at its own rates; per-trace
+// calibration reproduces the law's role (predicting eta from r) without
+// the numerical contradiction. See EXPERIMENTS.md.
+func calibrateCs(f []float64, mean, alpha float64) float64 {
+	const refRate = 1e-3
+	interval := int(1 / refRate)
+	if interval >= len(f)/10 {
+		interval = len(f) / 100
+		if interval < 2 {
+			return 0.02
+		}
+	}
+	st, err := core.RunInstances(f, mean, calibInstances, core.SystematicInstances(interval))
+	if err != nil {
+		return 0.02
+	}
+	med, err := stats.Median(st.Means)
+	if err != nil {
+		return 0.02
+	}
+	eta := core.Eta(med, mean)
+	if eta <= 0.005 {
+		eta = 0.005
+	}
+	cs := eta / math.Pow(1/float64(interval), 1/alpha-1)
+	if cs < 1e-4 {
+		cs = 1e-4
+	}
+	return cs
+}
+
+// applyBaseLoad rank-transforms the bursty series onto an exactly
+// Pareto(alpha, ell) marginal with ell = targetMean*(alpha-1)/alpha: the
+// k-th smallest bin is assigned the ((k+0.5)/n)-quantile of the Pareto
+// law. The monotone transform preserves the temporal burst structure
+// (which bins are large, and for how long) while making the marginal
+// match the paper's model — its own Figure 8 shows near-perfect Pareto
+// marginals, and Section V's design formulas assume
+// Pr(X > a_th) = (ell/a_th)^alpha exactly. Without this, the
+// threshold-to-trigger-probability mapping of the BSS design is
+// systematically miscalibrated on mixture marginals with mass near zero.
+func applyBaseLoad(f []float64, targetMean, alpha float64) error {
+	if stats.Mean(f) <= 0 {
+		return fmt.Errorf("degenerate trace (mean %g)", stats.Mean(f))
+	}
+	ell := targetMean * (alpha - 1) / alpha
+	p, err := dist.NewPareto(alpha, ell)
+	if err != nil {
+		return err
+	}
+	idx := make([]int, len(f))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool { return f[idx[a]] < f[idx[b]] })
+	n := float64(len(f))
+	for rank, i := range idx {
+		f[i] = p.Quantile((float64(rank) + 0.5) / n)
+	}
+	return nil
+}
+
+// calibInstances matches the small-scale experiment instance count so the
+// Cs calibration and the sweeps see the same instance statistics.
+const calibInstances = 21
+
+// ratesFor returns the canonical sampling-rate sweep restricted to rates
+// that leave at least minSamples base samples on a trace of length n.
+func ratesFor(n, minSamples int) []float64 {
+	all := []float64{1e-5, 1e-4, 1e-3, 1e-2, 1e-1}
+	out := make([]float64, 0, len(all))
+	for _, r := range all {
+		if r*float64(n) >= float64(minSamples) {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// minSamplesFor returns the minimum base-sample count a rate must leave:
+// full scale follows the paper down to ~10 samples; small scale drops the
+// statistically hopeless rates.
+func minSamplesFor(s Scale) int {
+	if s == ScaleFull {
+		return 10
+	}
+	return 30
+}
+
+// instancesFor returns the instance count per scale.
+func instancesFor(s Scale) int {
+	if s == ScaleFull {
+		return 41
+	}
+	return calibInstances
+}

@@ -1,0 +1,380 @@
+package lrd
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/dist"
+	"repro/internal/stats"
+)
+
+func TestConversions(t *testing.T) {
+	cases := []struct{ h, beta, alpha float64 }{
+		{0.9, 0.2, 1.2},
+		{0.75, 0.5, 1.5},
+		{0.6, 0.8, 1.8},
+	}
+	for _, c := range cases {
+		if got := BetaFromH(c.h); math.Abs(got-c.beta) > 1e-12 {
+			t.Errorf("BetaFromH(%g) = %g, want %g", c.h, got, c.beta)
+		}
+		if got := HFromBeta(c.beta); math.Abs(got-c.h) > 1e-12 {
+			t.Errorf("HFromBeta(%g) = %g, want %g", c.beta, got, c.h)
+		}
+		if got := AlphaFromH(c.h); math.Abs(got-c.alpha) > 1e-12 {
+			t.Errorf("AlphaFromH(%g) = %g, want %g", c.h, got, c.alpha)
+		}
+		if got := HFromAlpha(c.alpha); math.Abs(got-c.h) > 1e-12 {
+			t.Errorf("HFromAlpha(%g) = %g, want %g", c.alpha, got, c.h)
+		}
+	}
+}
+
+func TestFGNAutocovValues(t *testing.T) {
+	// H = 0.5 is white noise: gamma(0)=1, gamma(k)=0 for k >= 1.
+	g := FGNAutocov(0.5, 4)
+	if math.Abs(g[0]-1) > 1e-12 {
+		t.Errorf("gamma(0) = %g, want 1", g[0])
+	}
+	for k := 1; k <= 4; k++ {
+		if math.Abs(g[k]) > 1e-12 {
+			t.Errorf("H=0.5 gamma(%d) = %g, want 0", k, g[k])
+		}
+	}
+	// For H > 0.5 covariances are positive and decreasing.
+	g = FGNAutocov(0.8, 16)
+	for k := 1; k < len(g); k++ {
+		if g[k] <= 0 {
+			t.Errorf("H=0.8 gamma(%d) = %g, want > 0", k, g[k])
+		}
+		if g[k] >= g[k-1] {
+			t.Errorf("gamma not decreasing at %d: %g >= %g", k, g[k], g[k-1])
+		}
+	}
+}
+
+func TestNewFGNValidation(t *testing.T) {
+	if _, err := NewFGN(0, 100, 0, 1); err == nil {
+		t.Error("expected error for H = 0")
+	}
+	if _, err := NewFGN(1, 100, 0, 1); err == nil {
+		t.Error("expected error for H = 1")
+	}
+	if _, err := NewFGN(0.7, 1, 0, 1); err == nil {
+		t.Error("expected error for n = 1")
+	}
+	if _, err := NewFGN(0.7, 100, 0, -1); err == nil {
+		t.Error("expected error for negative sdev")
+	}
+}
+
+func TestFGNMatchesTheoreticalAutocov(t *testing.T) {
+	const h = 0.8
+	gen, err := NewFGN(h, 1<<14, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := dist.NewRand(123)
+	// Average the empirical autocovariance over several paths.
+	const paths = 6
+	maxLag := 4
+	avg := make([]float64, maxLag+1)
+	for p := 0; p < paths; p++ {
+		x := gen.Generate(rng)
+		acv, err := stats.Autocovariance(x, maxLag)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range avg {
+			avg[i] += acv[i] / paths
+		}
+	}
+	want := FGNAutocov(h, maxLag)
+	for k := 0; k <= maxLag; k++ {
+		if math.Abs(avg[k]-want[k]) > 0.05 {
+			t.Errorf("lag %d: empirical %g vs theoretical %g", k, avg[k], want[k])
+		}
+	}
+}
+
+func TestFGNMeanAndScale(t *testing.T) {
+	gen, err := NewFGN(0.7, 1<<13, 10, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := gen.Generate(dist.NewRand(9))
+	if len(x) != 1<<13 {
+		t.Fatalf("length = %d, want %d", len(x), 1<<13)
+	}
+	if m := stats.Mean(x); math.Abs(m-10) > 1 {
+		t.Errorf("mean = %g, want ~10", m)
+	}
+	if s := stats.StdDev(x); math.Abs(s-2) > 0.5 {
+		t.Errorf("stddev = %g, want ~2", s)
+	}
+	if gen.H() != 0.7 || gen.N() != 1<<13 {
+		t.Error("accessors disagree with construction")
+	}
+}
+
+func TestFBM(t *testing.T) {
+	got := FBM([]float64{1, 2, 3})
+	want := []float64{1, 3, 6}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("FBM[%d] = %g, want %g", i, got[i], want[i])
+		}
+	}
+}
+
+func TestAggregate(t *testing.T) {
+	x := []float64{1, 3, 2, 4, 10, 20, 5}
+	got, err := Aggregate(x, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{2, 3, 15}
+	if len(got) != len(want) {
+		t.Fatalf("Aggregate = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("Aggregate[%d] = %g, want %g", i, got[i], want[i])
+		}
+	}
+	if _, err := Aggregate(x, 0); err == nil {
+		t.Error("expected error for m = 0")
+	}
+	if _, err := Aggregate([]float64{1}, 5); err == nil {
+		t.Error("expected error for m > len")
+	}
+}
+
+func TestAggregatePreservesMean(t *testing.T) {
+	prop := func(seed uint64, mRaw uint8) bool {
+		m := int(mRaw%16) + 1
+		rng := dist.NewRand(seed)
+		x := make([]float64, 64*m)
+		for i := range x {
+			x[i] = rng.Float64() * 100
+		}
+		agg, err := Aggregate(x, m)
+		if err != nil {
+			return false
+		}
+		return math.Abs(stats.Mean(agg)-stats.Mean(x)) < 1e-9
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPowerLawACF(t *testing.T) {
+	if _, err := NewPowerLawACF(1, 0); err == nil {
+		t.Error("expected error for beta = 0")
+	}
+	if _, err := NewPowerLawACF(1, 1); err == nil {
+		t.Error("expected error for beta = 1")
+	}
+	if _, err := NewPowerLawACF(0, 0.5); err == nil {
+		t.Error("expected error for const = 0")
+	}
+	r, err := NewPowerLawACF(2, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := r.At(4); math.Abs(got-1) > 1e-12 {
+		t.Errorf("R(4) = %g, want 1", got)
+	}
+	if got := r.At(0); got != 2 {
+		t.Errorf("R(0) = %g, want Const", got)
+	}
+	if got := r.Hurst(); math.Abs(got-0.75) > 1e-12 {
+		t.Errorf("Hurst = %g, want 0.75", got)
+	}
+}
+
+func TestDeltaNonnegativeForAllBeta(t *testing.T) {
+	// The key hypothesis of Theorem 2 (Figure 4): delta_tau >= 0 across
+	// the whole LRD range, checked on the exact fGn ACF.
+	for _, beta := range []float64{0.1, 0.3, 0.5, 0.7, 0.9} {
+		r, err := NewFGNACF(HFromBeta(beta))
+		if err != nil {
+			t.Fatal(err)
+		}
+		ds := r.DeltaSeries(200)
+		for i, d := range ds {
+			if d < 0 {
+				t.Errorf("beta=%g: delta_%d = %g < 0", beta, i+1, d)
+			}
+		}
+		// delta is decreasing in tau (convexity flattens out).
+		for i := 1; i < len(ds); i++ {
+			if ds[i] > ds[i-1]+1e-12 {
+				t.Errorf("beta=%g: delta not decreasing at tau=%d", beta, i+1)
+			}
+		}
+	}
+	if !math.IsNaN((FGNACF{H: 0.75}).Delta(0)) {
+		t.Error("FGNACF.Delta(0) should be NaN")
+	}
+	// Power-law model: asymptotic convexity for tau >= 2.
+	for _, beta := range []float64{0.1, 0.5, 0.9} {
+		r := PowerLawACF{Const: 1, Beta: beta}
+		for tau := 2; tau <= 200; tau++ {
+			if d := r.Delta(tau); d < 0 {
+				t.Errorf("power law beta=%g: delta_%d = %g < 0", beta, tau, d)
+			}
+		}
+		if !math.IsNaN(r.Delta(1)) {
+			t.Error("power-law Delta(1) should be NaN")
+		}
+	}
+}
+
+func TestFGNACF(t *testing.T) {
+	if _, err := NewFGNACF(0.5); err == nil {
+		t.Error("expected error for H = 0.5")
+	}
+	if _, err := NewFGNACF(1); err == nil {
+		t.Error("expected error for H = 1")
+	}
+	r, err := NewFGNACF(0.8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.At(0) != 1 {
+		t.Errorf("rho(0) = %g, want 1", r.At(0))
+	}
+	if r.At(-3) != r.At(3) {
+		t.Error("ACF should be symmetric")
+	}
+	if math.Abs(r.Beta()-0.4) > 1e-12 {
+		t.Errorf("Beta() = %g, want 0.4", r.Beta())
+	}
+	// Asymptotics: rho(k) ~ H(2H-1) k^(2H-2); ratio must approach 1.
+	k := 1000
+	want := r.H * (2*r.H - 1) * math.Pow(float64(k), 2*r.H-2)
+	if got := r.At(k); math.Abs(got/want-1) > 0.01 {
+		t.Errorf("rho(%d) = %g, asymptotic %g (ratio %g)", k, got, want, got/want)
+	}
+	// Matches the unit-variance fGn autocovariance.
+	acv := FGNAutocov(0.8, 5)
+	for i := 0; i <= 5; i++ {
+		if math.Abs(r.At(i)-acv[i]) > 1e-12 {
+			t.Errorf("FGNACF.At(%d) = %g, FGNAutocov = %g", i, r.At(i), acv[i])
+		}
+	}
+}
+
+func TestHurstEstimatorsOnFGN(t *testing.T) {
+	// Each estimator should recover H within a reasonable tolerance on
+	// exact fGn. Wavelet and aggvar are the workhorses of the paper's
+	// Figures 2-3 and 21.
+	const n = 1 << 15
+	for _, h := range []float64{0.6, 0.75, 0.9} {
+		gen, err := NewFGN(h, n, 0, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		x := gen.Generate(dist.NewRand(uint64(h * 1e4)))
+		type estCase struct {
+			name string
+			est  func() (HurstEstimate, error)
+			tol  float64
+		}
+		cases := []estCase{
+			{"aggvar", func() (HurstEstimate, error) { return HurstAggVar(x, 4, n/32) }, 0.12},
+			{"rs", func() (HurstEstimate, error) { return HurstRS(x) }, 0.15},
+			{"periodogram", func() (HurstEstimate, error) { return HurstPeriodogram(x, 0.1) }, 0.1},
+			{"wavelet", func() (HurstEstimate, error) { return HurstWavelet(x, WaveletOptions{}) }, 0.1},
+			{"dfa", func() (HurstEstimate, error) { return HurstDFA(x) }, 0.12},
+		}
+		for _, c := range cases {
+			e, err := c.est()
+			if err != nil {
+				t.Errorf("H=%g %s: %v", h, c.name, err)
+				continue
+			}
+			if math.Abs(e.H-h) > c.tol {
+				t.Errorf("H=%g %s: estimated %.3f (tolerance %g)", h, c.name, e.H, c.tol)
+			}
+			if math.Abs(e.Beta-BetaFromH(e.H)) > 1e-12 {
+				t.Errorf("%s: Beta field inconsistent with H", c.name)
+			}
+		}
+	}
+}
+
+func TestHurstWhiteNoiseIsHalf(t *testing.T) {
+	rng := dist.NewRand(4242)
+	x := make([]float64, 1<<14)
+	for i := range x {
+		x[i] = rng.NormFloat64()
+	}
+	for name, e := range EstimateAll(x) {
+		if math.Abs(e.H-0.5) > 0.12 {
+			t.Errorf("%s on white noise: H = %.3f, want ~0.5", name, e.H)
+		}
+	}
+}
+
+func TestHurstEstimatorErrors(t *testing.T) {
+	short := []float64{1, 2, 3}
+	if _, err := HurstAggVar(short, 1, 0); err == nil {
+		t.Error("aggvar: expected error for short series")
+	}
+	if _, err := HurstRS(short); err == nil {
+		t.Error("rs: expected error for short series")
+	}
+	if _, err := HurstPeriodogram(short, 0.1); err == nil {
+		t.Error("periodogram: expected error for short series")
+	}
+	if _, err := HurstPeriodogram(make([]float64, 1024), 0); err == nil {
+		t.Error("periodogram: expected error for lowFrac = 0")
+	}
+	if _, err := HurstWavelet(short, WaveletOptions{}); err == nil {
+		t.Error("wavelet: expected error for short series")
+	}
+	if _, err := HurstDFA(short); err == nil {
+		t.Error("dfa: expected error for short series")
+	}
+}
+
+func TestEstimateAllComplete(t *testing.T) {
+	gen, err := NewFGN(0.7, 1<<13, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := gen.Generate(dist.NewRand(55))
+	got := EstimateAll(x)
+	for _, m := range []string{"aggvar", "rs", "periodogram", "wavelet", "dfa"} {
+		if _, ok := got[m]; !ok {
+			t.Errorf("EstimateAll missing method %q", m)
+		}
+	}
+}
+
+func BenchmarkFGNGenerate64k(b *testing.B) {
+	gen, err := NewFGN(0.8, 1<<16, 0, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := dist.NewRand(1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		gen.Generate(rng)
+	}
+}
+
+func BenchmarkHurstWavelet64k(b *testing.B) {
+	gen, _ := NewFGN(0.8, 1<<16, 0, 1)
+	x := gen.Generate(dist.NewRand(1))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := HurstWavelet(x, WaveletOptions{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,322 @@
+// Package pipeline wires the substrates into a router-style monitoring
+// system: a packet source feeds a binner that emits the rate process
+// f(t) tick by tick, and a set of streaming sampling probes consume the
+// ticks concurrently. It demonstrates how the paper's samplers deploy in
+// an online measurement pipeline with bounded memory, explicit
+// backpressure (blocking channels) and context-based shutdown.
+package pipeline
+
+import (
+	"context"
+	"fmt"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/traffic"
+)
+
+// Tick is one bin of the rate process.
+type Tick struct {
+	Index int
+	Value float64 // rate in bytes/second over the bin
+}
+
+// Probe consumes ticks and accumulates an estimate. Implementations must
+// be safe for use from the single goroutine the pipeline assigns them.
+type Probe interface {
+	// Name identifies the probe in reports.
+	Name() string
+	// Offer presents one tick.
+	Offer(t Tick)
+	// Report returns the probe's current estimate summary.
+	Report() ProbeReport
+}
+
+// ProbeReport summarizes what a probe has measured.
+type ProbeReport struct {
+	Name      string
+	Kept      int     // samples retained
+	Seen      int     // ticks observed
+	Mean      float64 // estimated mean of f(t)
+	Qualified int     // BSS qualified samples (0 for classic probes)
+}
+
+// BinTicks converts a time-sorted packet stream into ticks of the given
+// granularity, sending them to out until the packets are exhausted or ctx
+// is cancelled. It closes out when done and returns the number of ticks
+// emitted.
+func BinTicks(ctx context.Context, pkts []traffic.Packet, granularity float64, out chan<- Tick) (int, error) {
+	defer close(out)
+	if granularity <= 0 {
+		return 0, fmt.Errorf("pipeline: granularity %g must be positive", granularity)
+	}
+	if len(pkts) == 0 {
+		return 0, fmt.Errorf("pipeline: empty packet stream")
+	}
+	emitted := 0
+	idx := 0
+	var acc float64
+	cur := 0
+	flush := func(binIdx int) error {
+		select {
+		case out <- Tick{Index: binIdx, Value: acc / granularity}:
+			emitted++
+			acc = 0
+			return nil
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+	}
+	for _, p := range pkts {
+		bin := int(p.Time / granularity)
+		for cur < bin {
+			if err := flush(cur); err != nil {
+				return emitted, err
+			}
+			cur++
+		}
+		acc += float64(p.Size)
+		idx++
+	}
+	if err := flush(cur); err != nil {
+		return emitted, err
+	}
+	return emitted, nil
+}
+
+// Monitor fans one tick stream out to every probe and waits for
+// completion. Each probe runs on its own goroutine with a private buffered
+// feed; Monitor returns when the input channel closes or ctx is cancelled.
+type Monitor struct {
+	probes []Probe
+}
+
+// NewMonitor validates and assembles a monitor over the given probes.
+func NewMonitor(probes ...Probe) (*Monitor, error) {
+	if len(probes) == 0 {
+		return nil, fmt.Errorf("pipeline: monitor needs at least one probe")
+	}
+	seen := make(map[string]bool, len(probes))
+	for _, p := range probes {
+		if p == nil {
+			return nil, fmt.Errorf("pipeline: nil probe")
+		}
+		if seen[p.Name()] {
+			return nil, fmt.Errorf("pipeline: duplicate probe name %q", p.Name())
+		}
+		seen[p.Name()] = true
+	}
+	return &Monitor{probes: probes}, nil
+}
+
+// Run consumes ticks from in until it closes (or ctx cancels), feeding
+// every probe, and returns the final reports in probe order.
+func (m *Monitor) Run(ctx context.Context, in <-chan Tick) ([]ProbeReport, error) {
+	feeds := make([]chan Tick, len(m.probes))
+	var wg sync.WaitGroup
+	for i, p := range m.probes {
+		feeds[i] = make(chan Tick, 256)
+		wg.Add(1)
+		go func(p Probe, feed <-chan Tick) {
+			defer wg.Done()
+			for t := range feed {
+				p.Offer(t)
+			}
+		}(p, feeds[i])
+	}
+	var runErr error
+fanout:
+	for {
+		select {
+		case t, ok := <-in:
+			if !ok {
+				break fanout
+			}
+			for _, feed := range feeds {
+				select {
+				case feed <- t:
+				case <-ctx.Done():
+					runErr = ctx.Err()
+					break fanout
+				}
+			}
+		case <-ctx.Done():
+			runErr = ctx.Err()
+			break fanout
+		}
+	}
+	for _, feed := range feeds {
+		close(feed)
+	}
+	wg.Wait()
+	reports := make([]ProbeReport, len(m.probes))
+	for i, p := range m.probes {
+		reports[i] = p.Report()
+	}
+	return reports, runErr
+}
+
+// SystematicProbe keeps every Interval-th tick.
+type SystematicProbe struct {
+	name     string
+	interval int
+	seen     int
+	kept     int
+	sum      float64
+}
+
+// NewSystematicProbe validates and builds the probe.
+func NewSystematicProbe(name string, interval int) (*SystematicProbe, error) {
+	if interval < 1 {
+		return nil, fmt.Errorf("pipeline: systematic probe interval %d must be >= 1", interval)
+	}
+	if name == "" {
+		name = "systematic"
+	}
+	return &SystematicProbe{name: name, interval: interval}, nil
+}
+
+// Name implements Probe.
+func (p *SystematicProbe) Name() string { return p.name }
+
+// Offer implements Probe.
+func (p *SystematicProbe) Offer(t Tick) {
+	if p.seen%p.interval == 0 {
+		p.kept++
+		p.sum += t.Value
+	}
+	p.seen++
+}
+
+// Report implements Probe.
+func (p *SystematicProbe) Report() ProbeReport {
+	r := ProbeReport{Name: p.name, Kept: p.kept, Seen: p.seen}
+	if p.kept > 0 {
+		r.Mean = p.sum / float64(p.kept)
+	}
+	return r
+}
+
+// BSSProbe wraps core.StreamBSS as a pipeline probe.
+type BSSProbe struct {
+	name      string
+	stream    *core.StreamBSS
+	seen      int
+	kept      int
+	qualified int
+}
+
+// NewBSSProbe validates the BSS configuration and builds the probe.
+func NewBSSProbe(name string, cfg core.BSS) (*BSSProbe, error) {
+	s, err := core.NewStreamBSS(cfg)
+	if err != nil {
+		return nil, fmt.Errorf("pipeline: building BSS probe: %w", err)
+	}
+	if name == "" {
+		name = "bss"
+	}
+	return &BSSProbe{name: name, stream: s}, nil
+}
+
+// Name implements Probe.
+func (p *BSSProbe) Name() string { return p.name }
+
+// Offer implements Probe.
+func (p *BSSProbe) Offer(t Tick) {
+	kept, qualified := p.stream.Offer(t.Value)
+	p.seen++
+	if kept {
+		p.kept++
+	}
+	if qualified {
+		p.qualified++
+	}
+}
+
+// Report implements Probe.
+func (p *BSSProbe) Report() ProbeReport {
+	return ProbeReport{
+		Name:      p.name,
+		Kept:      p.kept,
+		Seen:      p.seen,
+		Mean:      p.stream.Mean(),
+		Qualified: p.qualified,
+	}
+}
+
+// ThresholdAlarmProbe raises a flag when the running short-window mean
+// exceeds level — the hot-spot / DoS detection use case the paper's
+// introduction motivates. It samples systematically to keep cost bounded.
+type ThresholdAlarmProbe struct {
+	name     string
+	interval int
+	level    float64
+	window   []float64
+	seen     int
+	alarms   []int // tick indices where the alarm fired
+	sum      float64
+	kept     int
+}
+
+// NewThresholdAlarmProbe builds an alarm probe sampling every interval
+// ticks with a rolling window of the given size.
+func NewThresholdAlarmProbe(name string, interval, window int, level float64) (*ThresholdAlarmProbe, error) {
+	if interval < 1 || window < 1 {
+		return nil, fmt.Errorf("pipeline: alarm probe needs interval >= 1 and window >= 1 (got %d, %d)", interval, window)
+	}
+	if name == "" {
+		name = "alarm"
+	}
+	return &ThresholdAlarmProbe{name: name, interval: interval, level: level, window: make([]float64, 0, window)}, nil
+}
+
+// Name implements Probe.
+func (p *ThresholdAlarmProbe) Name() string { return p.name }
+
+// Offer implements Probe.
+func (p *ThresholdAlarmProbe) Offer(t Tick) {
+	defer func() { p.seen++ }()
+	if p.seen%p.interval != 0 {
+		return
+	}
+	p.kept++
+	p.sum += t.Value
+	if len(p.window) == cap(p.window) {
+		copy(p.window, p.window[1:])
+		p.window = p.window[:len(p.window)-1]
+	}
+	p.window = append(p.window, t.Value)
+	if len(p.window) == cap(p.window) {
+		var s float64
+		for _, v := range p.window {
+			s += v
+		}
+		if s/float64(len(p.window)) > p.level {
+			p.alarms = append(p.alarms, t.Index)
+		}
+	}
+}
+
+// Alarms returns the tick indices at which the rolling mean exceeded the
+// level.
+func (p *ThresholdAlarmProbe) Alarms() []int {
+	out := make([]int, len(p.alarms))
+	copy(out, p.alarms)
+	return out
+}
+
+// Report implements Probe.
+func (p *ThresholdAlarmProbe) Report() ProbeReport {
+	r := ProbeReport{Name: p.name, Kept: p.kept, Seen: p.seen}
+	if p.kept > 0 {
+		r.Mean = p.sum / float64(p.kept)
+	}
+	return r
+}
+
+// Interface compliance checks.
+var (
+	_ Probe = (*SystematicProbe)(nil)
+	_ Probe = (*BSSProbe)(nil)
+	_ Probe = (*ThresholdAlarmProbe)(nil)
+)

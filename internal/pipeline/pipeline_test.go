@@ -1,0 +1,236 @@
+package pipeline
+
+import (
+	"context"
+	"math"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/dist"
+	"repro/internal/stats"
+	"repro/internal/traffic"
+)
+
+func testPackets(t *testing.T) []traffic.Packet {
+	t.Helper()
+	cfg := traffic.SynthConfig{
+		Pairs: 20, Duration: 60, AlphaOn: 1.5,
+		MeanOn: 0.5, MeanOff: 5, MeanRate: 1e5, RateAlpha: 1.5,
+	}
+	pkts, err := traffic.SynthesizeTrace(cfg, dist.NewRand(77))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pkts
+}
+
+func TestBinTicksMatchesBatchBinning(t *testing.T) {
+	pkts := testPackets(t)
+	want, err := traffic.BinBytes(pkts, 0.1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ch := make(chan Tick, 64)
+	var got []float64
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for tk := range ch {
+			got = append(got, tk.Value)
+		}
+	}()
+	n, err := BinTicks(context.Background(), pkts, 0.1, ch)
+	<-done
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != len(got) {
+		t.Fatalf("emitted %d, received %d", n, len(got))
+	}
+	if len(got) > len(want) || len(got) < len(want)-1 {
+		t.Fatalf("stream bins %d vs batch %d", len(got), len(want))
+	}
+	for i := range got {
+		if math.Abs(got[i]-want[i]) > 1e-9 {
+			t.Fatalf("bin %d: stream %g vs batch %g", i, got[i], want[i])
+		}
+	}
+}
+
+func TestBinTicksErrors(t *testing.T) {
+	ch := make(chan Tick, 1)
+	if _, err := BinTicks(context.Background(), nil, 0.1, ch); err == nil {
+		t.Error("expected error for empty stream")
+	}
+	ch2 := make(chan Tick, 1)
+	if _, err := BinTicks(context.Background(), testPackets(t), 0, ch2); err == nil {
+		t.Error("expected error for zero granularity")
+	}
+}
+
+func TestBinTicksCancellation(t *testing.T) {
+	pkts := testPackets(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	ch := make(chan Tick) // unbuffered: the binner will block
+	errCh := make(chan error, 1)
+	go func() {
+		_, err := BinTicks(ctx, pkts, 0.001, ch)
+		errCh <- err
+	}()
+	<-ch // let it start
+	cancel()
+	select {
+	case err := <-errCh:
+		if err == nil {
+			t.Error("expected context error")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("binner did not stop after cancellation")
+	}
+}
+
+func TestMonitorValidation(t *testing.T) {
+	if _, err := NewMonitor(); err == nil {
+		t.Error("expected error for no probes")
+	}
+	p1, _ := NewSystematicProbe("a", 10)
+	p2, _ := NewSystematicProbe("a", 20)
+	if _, err := NewMonitor(p1, p2); err == nil {
+		t.Error("expected error for duplicate names")
+	}
+	if _, err := NewMonitor(nil); err == nil {
+		t.Error("expected error for nil probe")
+	}
+}
+
+func TestMonitorEndToEnd(t *testing.T) {
+	pkts := testPackets(t)
+	f, err := traffic.BinBytes(pkts, 0.1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	realMean := stats.Mean(f)
+
+	sys, err := NewSystematicProbe("", 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bss, err := NewBSSProbe("", core.BSS{Interval: 10, L: 3, Epsilon: 1.2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	alarm, err := NewThresholdAlarmProbe("", 5, 4, realMean*3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mon, err := NewMonitor(sys, bss, alarm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ch := make(chan Tick, 128)
+	go func() {
+		if _, err := BinTicks(context.Background(), pkts, 0.1, ch); err != nil {
+			t.Error(err)
+		}
+	}()
+	reports, err := mon.Run(context.Background(), ch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reports) != 3 {
+		t.Fatalf("got %d reports, want 3", len(reports))
+	}
+	for _, r := range reports {
+		if r.Seen != len(f) && r.Seen != len(f)-1 {
+			t.Errorf("%s saw %d ticks, want ~%d", r.Name, r.Seen, len(f))
+		}
+	}
+	// The systematic probe's estimate should be in the right ballpark.
+	if math.Abs(reports[0].Mean-realMean)/realMean > 0.5 {
+		t.Errorf("systematic probe mean %g vs real %g", reports[0].Mean, realMean)
+	}
+	if reports[0].Kept == 0 || reports[1].Kept == 0 {
+		t.Error("probes kept no samples")
+	}
+}
+
+func TestMonitorCancelledContext(t *testing.T) {
+	sys, _ := NewSystematicProbe("", 1)
+	mon, err := NewMonitor(sys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	ch := make(chan Tick)
+	if _, err := mon.Run(ctx, ch); err == nil {
+		t.Error("expected context error")
+	}
+}
+
+func TestProbeValidation(t *testing.T) {
+	if _, err := NewSystematicProbe("x", 0); err == nil {
+		t.Error("expected error for interval 0")
+	}
+	if _, err := NewBSSProbe("x", core.BSS{Interval: 0, L: 1, Epsilon: 1}); err == nil {
+		t.Error("expected error for bad BSS config")
+	}
+	if _, err := NewThresholdAlarmProbe("x", 0, 5, 1); err == nil {
+		t.Error("expected error for interval 0")
+	}
+	if _, err := NewThresholdAlarmProbe("x", 5, 0, 1); err == nil {
+		t.Error("expected error for window 0")
+	}
+}
+
+func TestThresholdAlarmFires(t *testing.T) {
+	alarm, err := NewThresholdAlarmProbe("", 1, 3, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Quiet, then a sustained burst.
+	vals := []float64{1, 1, 1, 1, 50, 60, 70, 80, 1, 1}
+	for i, v := range vals {
+		alarm.Offer(Tick{Index: i, Value: v})
+	}
+	alarms := alarm.Alarms()
+	if len(alarms) == 0 {
+		t.Fatal("alarm never fired during the burst")
+	}
+	for _, idx := range alarms {
+		if idx < 4 {
+			t.Errorf("alarm fired at %d, before the burst", idx)
+		}
+	}
+	r := alarm.Report()
+	if r.Kept != len(vals) {
+		t.Errorf("kept %d, want %d", r.Kept, len(vals))
+	}
+}
+
+func TestSystematicProbeMatchesBatchSampler(t *testing.T) {
+	f := make([]float64, 1000)
+	rng := dist.NewRand(3)
+	for i := range f {
+		f[i] = rng.Float64()
+	}
+	probe, err := NewSystematicProbe("", 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range f {
+		probe.Offer(Tick{Index: i, Value: v})
+	}
+	batch, err := (core.Systematic{Interval: 7}).Sample(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := probe.Report()
+	if r.Kept != len(batch) {
+		t.Fatalf("probe kept %d, batch %d", r.Kept, len(batch))
+	}
+	if math.Abs(r.Mean-core.MeanOf(batch)) > 1e-12 {
+		t.Errorf("probe mean %g vs batch %g", r.Mean, core.MeanOf(batch))
+	}
+}

@@ -1,0 +1,154 @@
+package stats
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+)
+
+func newRand(seed uint64) *rand.Rand {
+	return rand.New(rand.NewPCG(seed, seed^0x9e3779b97f4a7c15))
+}
+
+func almostEqual(a, b, tol float64) bool {
+	if math.IsNaN(a) || math.IsNaN(b) {
+		return math.IsNaN(a) && math.IsNaN(b)
+	}
+	return math.Abs(a-b) <= tol
+}
+
+func TestMeanVariance(t *testing.T) {
+	x := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if got := Mean(x); !almostEqual(got, 5, 1e-12) {
+		t.Errorf("Mean = %g, want 5", got)
+	}
+	if got := Variance(x); !almostEqual(got, 4, 1e-12) {
+		t.Errorf("Variance = %g, want 4", got)
+	}
+	if got := StdDev(x); !almostEqual(got, 2, 1e-12) {
+		t.Errorf("StdDev = %g, want 2", got)
+	}
+	if got := SampleVariance(x); !almostEqual(got, 32.0/7, 1e-12) {
+		t.Errorf("SampleVariance = %g, want %g", got, 32.0/7)
+	}
+	if got := Sum(x); !almostEqual(got, 40, 1e-12) {
+		t.Errorf("Sum = %g, want 40", got)
+	}
+}
+
+func TestEmptyInputs(t *testing.T) {
+	if !math.IsNaN(Mean(nil)) || !math.IsNaN(Variance(nil)) {
+		t.Error("Mean/Variance of empty input should be NaN")
+	}
+	if !math.IsNaN(SampleVariance([]float64{1})) {
+		t.Error("SampleVariance of single point should be NaN")
+	}
+	lo, hi := MinMax(nil)
+	if !math.IsNaN(lo) || !math.IsNaN(hi) {
+		t.Error("MinMax of empty input should be NaN")
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	lo, hi := MinMax([]float64{3, -1, 7, 0})
+	if lo != -1 || hi != 7 {
+		t.Errorf("MinMax = (%g, %g), want (-1, 7)", lo, hi)
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	x := []float64{1, 2, 3, 4, 5}
+	cases := []struct{ q, want float64 }{
+		{0, 1}, {0.25, 2}, {0.5, 3}, {0.75, 4}, {1, 5},
+	}
+	for _, c := range cases {
+		got, err := Quantile(x, c.q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !almostEqual(got, c.want, 1e-12) {
+			t.Errorf("Quantile(%g) = %g, want %g", c.q, got, c.want)
+		}
+	}
+	if _, err := Quantile(nil, 0.5); err == nil {
+		t.Error("expected error for empty input")
+	}
+	if _, err := Quantile(x, 1.5); err == nil {
+		t.Error("expected error for q > 1")
+	}
+	med, err := Median([]float64{9})
+	if err != nil || med != 9 {
+		t.Errorf("Median single = %g, %v", med, err)
+	}
+}
+
+func TestAccumulatorMatchesBatch(t *testing.T) {
+	prop := func(seed uint64, szRaw uint8) bool {
+		n := int(szRaw%100) + 2
+		rng := newRand(seed)
+		x := make([]float64, n)
+		for i := range x {
+			x[i] = rng.NormFloat64() * 10
+		}
+		var acc Accumulator
+		acc.AddAll(x)
+		lo, hi := MinMax(x)
+		return acc.N() == n &&
+			almostEqual(acc.Mean(), Mean(x), 1e-9) &&
+			almostEqual(acc.Variance(), Variance(x), 1e-7) &&
+			almostEqual(acc.SampleVariance(), SampleVariance(x), 1e-7) &&
+			almostEqual(acc.Min(), lo, 0) &&
+			almostEqual(acc.Max(), hi, 0) &&
+			almostEqual(acc.Sum(), Sum(x), 1e-7)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAccumulatorZeroValue(t *testing.T) {
+	var acc Accumulator
+	if acc.N() != 0 || !math.IsNaN(acc.Mean()) || !math.IsNaN(acc.Variance()) ||
+		!math.IsNaN(acc.Min()) || !math.IsNaN(acc.Max()) {
+		t.Error("zero-value accumulator should report NaN statistics")
+	}
+	acc.Add(5)
+	if acc.Mean() != 5 || acc.Variance() != 0 || acc.Min() != 5 || acc.Max() != 5 {
+		t.Error("single-observation accumulator incorrect")
+	}
+}
+
+func TestAccumulatorMerge(t *testing.T) {
+	prop := func(seed uint64) bool {
+		rng := newRand(seed)
+		x := make([]float64, 64)
+		for i := range x {
+			x[i] = rng.NormFloat64()
+		}
+		var whole, left, right Accumulator
+		whole.AddAll(x)
+		left.AddAll(x[:20])
+		right.AddAll(x[20:])
+		left.Merge(&right)
+		return left.N() == whole.N() &&
+			almostEqual(left.Mean(), whole.Mean(), 1e-10) &&
+			almostEqual(left.Variance(), whole.Variance(), 1e-9) &&
+			left.Min() == whole.Min() && left.Max() == whole.Max()
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+	// Merging into/from empty accumulators.
+	var a, b Accumulator
+	b.Add(3)
+	a.Merge(&b)
+	if a.N() != 1 || a.Mean() != 3 {
+		t.Error("merge into empty accumulator failed")
+	}
+	var empty Accumulator
+	a.Merge(&empty)
+	if a.N() != 1 {
+		t.Error("merge of empty accumulator changed state")
+	}
+}

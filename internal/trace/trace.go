@@ -1,0 +1,228 @@
+// Package trace provides the on-disk formats of the reproduction: a
+// compact binary format (checksummed header + fixed-width records) and a
+// human-readable CSV format, for both packet traces and binned rate
+// series. Readers validate headers and fail loudly on corruption rather
+// than returning truncated data.
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+	"strconv"
+	"strings"
+
+	"repro/internal/traffic"
+)
+
+// Magic numbers identifying the two binary formats.
+const (
+	packetMagic = 0x50545243 // "PTRC"
+	seriesMagic = 0x53545243 // "STRC"
+	version     = 1
+)
+
+// WritePackets serializes a packet trace: header (magic, version, count,
+// header CRC) followed by fixed 16-byte records.
+func WritePackets(w io.Writer, pkts []traffic.Packet) error {
+	bw := bufio.NewWriter(w)
+	if err := writeHeader(bw, packetMagic, uint64(len(pkts))); err != nil {
+		return err
+	}
+	var rec [16]byte
+	for i := range pkts {
+		binary.LittleEndian.PutUint64(rec[0:8], math.Float64bits(pkts[i].Time))
+		binary.LittleEndian.PutUint16(rec[8:10], pkts[i].Src)
+		binary.LittleEndian.PutUint16(rec[10:12], pkts[i].Dst)
+		binary.LittleEndian.PutUint32(rec[12:16], pkts[i].Size)
+		if _, err := bw.Write(rec[:]); err != nil {
+			return fmt.Errorf("trace: writing packet %d: %w", i, err)
+		}
+	}
+	if err := bw.Flush(); err != nil {
+		return fmt.Errorf("trace: flushing packet trace: %w", err)
+	}
+	return nil
+}
+
+// ReadPackets deserializes a packet trace written by WritePackets.
+func ReadPackets(r io.Reader) ([]traffic.Packet, error) {
+	br := bufio.NewReader(r)
+	count, err := readHeader(br, packetMagic)
+	if err != nil {
+		return nil, err
+	}
+	if count > 1<<31 {
+		return nil, fmt.Errorf("trace: implausible packet count %d", count)
+	}
+	pkts := make([]traffic.Packet, count)
+	var rec [16]byte
+	for i := range pkts {
+		if _, err := io.ReadFull(br, rec[:]); err != nil {
+			return nil, fmt.Errorf("trace: reading packet %d of %d: %w", i, count, err)
+		}
+		pkts[i] = traffic.Packet{
+			Time: math.Float64frombits(binary.LittleEndian.Uint64(rec[0:8])),
+			Src:  binary.LittleEndian.Uint16(rec[8:10]),
+			Dst:  binary.LittleEndian.Uint16(rec[10:12]),
+			Size: binary.LittleEndian.Uint32(rec[12:16]),
+		}
+	}
+	return pkts, nil
+}
+
+// WriteSeries serializes a rate series with its granularity (seconds per
+// bin).
+func WriteSeries(w io.Writer, granularity float64, f []float64) error {
+	if granularity <= 0 {
+		return fmt.Errorf("trace: granularity %g must be positive", granularity)
+	}
+	bw := bufio.NewWriter(w)
+	if err := writeHeader(bw, seriesMagic, uint64(len(f))); err != nil {
+		return err
+	}
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], math.Float64bits(granularity))
+	if _, err := bw.Write(buf[:]); err != nil {
+		return fmt.Errorf("trace: writing granularity: %w", err)
+	}
+	for i, v := range f {
+		binary.LittleEndian.PutUint64(buf[:], math.Float64bits(v))
+		if _, err := bw.Write(buf[:]); err != nil {
+			return fmt.Errorf("trace: writing bin %d: %w", i, err)
+		}
+	}
+	if err := bw.Flush(); err != nil {
+		return fmt.Errorf("trace: flushing series: %w", err)
+	}
+	return nil
+}
+
+// ReadSeries deserializes a rate series written by WriteSeries.
+func ReadSeries(r io.Reader) (granularity float64, f []float64, err error) {
+	br := bufio.NewReader(r)
+	count, err := readHeader(br, seriesMagic)
+	if err != nil {
+		return 0, nil, err
+	}
+	if count > 1<<31 {
+		return 0, nil, fmt.Errorf("trace: implausible series length %d", count)
+	}
+	var buf [8]byte
+	if _, err := io.ReadFull(br, buf[:]); err != nil {
+		return 0, nil, fmt.Errorf("trace: reading granularity: %w", err)
+	}
+	granularity = math.Float64frombits(binary.LittleEndian.Uint64(buf[:]))
+	if granularity <= 0 || math.IsNaN(granularity) {
+		return 0, nil, fmt.Errorf("trace: invalid granularity %g in header", granularity)
+	}
+	f = make([]float64, count)
+	for i := range f {
+		if _, err := io.ReadFull(br, buf[:]); err != nil {
+			return 0, nil, fmt.Errorf("trace: reading bin %d of %d: %w", i, count, err)
+		}
+		f[i] = math.Float64frombits(binary.LittleEndian.Uint64(buf[:]))
+	}
+	return granularity, f, nil
+}
+
+// writeHeader emits magic, version, count and a CRC of those fields.
+func writeHeader(w io.Writer, magic uint32, count uint64) error {
+	var hdr [20]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], magic)
+	binary.LittleEndian.PutUint32(hdr[4:8], version)
+	binary.LittleEndian.PutUint64(hdr[8:16], count)
+	binary.LittleEndian.PutUint32(hdr[16:20], crc32.ChecksumIEEE(hdr[0:16]))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return fmt.Errorf("trace: writing header: %w", err)
+	}
+	return nil
+}
+
+// readHeader validates magic, version and CRC, returning the record count.
+func readHeader(r io.Reader, wantMagic uint32) (uint64, error) {
+	var hdr [20]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return 0, fmt.Errorf("trace: reading header: %w", err)
+	}
+	if got := crc32.ChecksumIEEE(hdr[0:16]); got != binary.LittleEndian.Uint32(hdr[16:20]) {
+		return 0, fmt.Errorf("trace: header checksum mismatch (corrupt file?)")
+	}
+	if magic := binary.LittleEndian.Uint32(hdr[0:4]); magic != wantMagic {
+		return 0, fmt.Errorf("trace: bad magic 0x%08x (want 0x%08x)", magic, wantMagic)
+	}
+	if v := binary.LittleEndian.Uint32(hdr[4:8]); v != version {
+		return 0, fmt.Errorf("trace: unsupported format version %d", v)
+	}
+	return binary.LittleEndian.Uint64(hdr[8:16]), nil
+}
+
+// WritePacketsCSV emits "time,src,dst,size" rows with a header line.
+func WritePacketsCSV(w io.Writer, pkts []traffic.Packet) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString("time,src,dst,size\n"); err != nil {
+		return fmt.Errorf("trace: writing CSV header: %w", err)
+	}
+	for i := range pkts {
+		line := strconv.FormatFloat(pkts[i].Time, 'g', -1, 64) + "," +
+			strconv.FormatUint(uint64(pkts[i].Src), 10) + "," +
+			strconv.FormatUint(uint64(pkts[i].Dst), 10) + "," +
+			strconv.FormatUint(uint64(pkts[i].Size), 10) + "\n"
+		if _, err := bw.WriteString(line); err != nil {
+			return fmt.Errorf("trace: writing CSV row %d: %w", i, err)
+		}
+	}
+	if err := bw.Flush(); err != nil {
+		return fmt.Errorf("trace: flushing CSV: %w", err)
+	}
+	return nil
+}
+
+// ReadPacketsCSV parses the format emitted by WritePacketsCSV.
+func ReadPacketsCSV(r io.Reader) ([]traffic.Packet, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	if !sc.Scan() {
+		return nil, fmt.Errorf("trace: empty CSV input")
+	}
+	if got := strings.TrimSpace(sc.Text()); got != "time,src,dst,size" {
+		return nil, fmt.Errorf("trace: unexpected CSV header %q", got)
+	}
+	var pkts []traffic.Packet
+	lineNo := 1
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		fields := strings.Split(line, ",")
+		if len(fields) != 4 {
+			return nil, fmt.Errorf("trace: line %d has %d fields, want 4", lineNo, len(fields))
+		}
+		t, err := strconv.ParseFloat(fields[0], 64)
+		if err != nil {
+			return nil, fmt.Errorf("trace: line %d time: %w", lineNo, err)
+		}
+		src, err := strconv.ParseUint(fields[1], 10, 16)
+		if err != nil {
+			return nil, fmt.Errorf("trace: line %d src: %w", lineNo, err)
+		}
+		dst, err := strconv.ParseUint(fields[2], 10, 16)
+		if err != nil {
+			return nil, fmt.Errorf("trace: line %d dst: %w", lineNo, err)
+		}
+		size, err := strconv.ParseUint(fields[3], 10, 32)
+		if err != nil {
+			return nil, fmt.Errorf("trace: line %d size: %w", lineNo, err)
+		}
+		pkts = append(pkts, traffic.Packet{Time: t, Src: uint16(src), Dst: uint16(dst), Size: uint32(size)})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("trace: scanning CSV: %w", err)
+	}
+	return pkts, nil
+}
