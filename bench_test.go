@@ -175,6 +175,90 @@ func BenchmarkAvgVarianceInstances(b *testing.B) {
 	}
 }
 
+// --- Streaming engine vs batch adapter, per technique -------------------
+//
+// The batch path is Sample(f) — one call that internally drives the
+// streaming engine over the whole series. The stream path offers ticks
+// one by one the way a pipeline probe does, measuring the per-tick
+// overhead of the StreamSampler interface. These are the perf baseline
+// for the hot sampling path.
+
+// samplerBenchSpecs names one spec per technique at a 1e-3-ish rate.
+var samplerBenchSpecs = []struct{ name, spec string }{
+	{"Systematic", "systematic:interval=1000"},
+	{"Stratified", "stratified:interval=1000,seed=1"},
+	{"SimpleRandom", "simple:rate=0.001,seed=1"},
+	{"Bernoulli", "bernoulli:rate=0.001,seed=1"},
+	{"BSS", "bss:interval=1000,L=10,eps=1.0"},
+}
+
+func samplerBenchTrace() []float64 {
+	rng := dist.NewRand(77)
+	p := dist.Pareto{Alpha: 1.5, Xm: 1}
+	f := make([]float64, 1<<20)
+	for i := range f {
+		f[i] = p.Sample(rng)
+	}
+	return f
+}
+
+func BenchmarkSamplerBatch(b *testing.B) {
+	f := samplerBenchTrace()
+	for _, tc := range samplerBenchSpecs {
+		b.Run(tc.name, func(b *testing.B) {
+			s, err := core.Lookup(tc.spec)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := s.Sample(f); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkSamplerStream(b *testing.B) {
+	f := samplerBenchTrace()
+	for _, tc := range samplerBenchSpecs {
+		b.Run(tc.name, func(b *testing.B) {
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				eng, err := core.LookupStream(tc.spec)
+				if err != nil {
+					b.Fatal(err)
+				}
+				kept := 0
+				for j, v := range f {
+					if _, ok := eng.Offer(j, v); ok {
+						kept++
+					}
+				}
+				if tail, err := eng.Finish(); err != nil {
+					b.Fatal(err)
+				} else {
+					kept += len(tail)
+				}
+				if kept == 0 {
+					b.Fatal("kept no samples")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkRegistryLookup tracks the spec-parse + build cost, which sits
+// on the control path of every probe and experiment construction.
+func BenchmarkRegistryLookup(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := core.Lookup("bss:rate=1e-3,L=10,eps=1.0"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // --- Substrate micro-benchmarks -----------------------------------------
 
 func BenchmarkTraceSynthesis(b *testing.B) {

@@ -1,11 +1,17 @@
 // Command figures regenerates the paper's evaluation artefacts
 // (Figures 2-22). Without flags it runs every figure at full scale and
-// prints the tables; -fig selects specific figures and -small switches to
-// the reduced test scale.
+// prints the tables; -fig selects specific figures, -small switches to
+// the reduced test scale and -parallel bounds how many figures run
+// concurrently (default: GOMAXPROCS).
+//
+// Figure tables go to stdout in figure-id order regardless of
+// completion order, so the output is byte-identical between serial and
+// parallel runs; per-figure timing goes to stderr.
 //
 // Examples:
 //
-//	figures                 # all figures, paper scale
+//	figures                 # all figures, paper scale, parallel
+//	figures -parallel 1     # the serial run (same stdout bytes)
 //	figures -fig fig06      # one figure
 //	figures -fig fig05,fig22 -small
 package main
@@ -14,6 +20,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
 	"time"
 
@@ -27,19 +34,27 @@ func main() {
 	}
 }
 
+// figResult is one finished figure, handed from a worker to the in-order
+// printer.
+type figResult struct {
+	rendered string
+	elapsed  time.Duration
+	err      error
+}
+
 func run(args []string) error {
 	fs := flag.NewFlagSet("figures", flag.ContinueOnError)
 	var (
-		figs  = fs.String("fig", "", "comma-separated figure ids (default: all); e.g. fig06,fig18")
-		small = fs.Bool("small", false, "run at the reduced test scale instead of paper scale")
-		list  = fs.Bool("list", false, "list available figure ids and exit")
+		figs     = fs.String("fig", "", "comma-separated figure ids (default: all); e.g. fig06,fig18")
+		small    = fs.Bool("small", false, "run at the reduced test scale instead of paper scale")
+		list     = fs.Bool("list", false, "list available figure ids and exit")
+		parallel = fs.Int("parallel", runtime.GOMAXPROCS(0), "max figures running concurrently (1 = serial)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	registry := experiments.Registry()
 	if *list {
-		for _, id := range experiments.FigureIDs() {
+		for _, id := range experiments.Names() {
 			fmt.Println(id)
 		}
 		return nil
@@ -48,22 +63,51 @@ func run(args []string) error {
 	if *small {
 		scale = experiments.ScaleSmall
 	}
-	ids := experiments.FigureIDs()
+	ids := experiments.Names()
 	if *figs != "" {
 		ids = strings.Split(*figs, ",")
+		for i, id := range ids {
+			ids[i] = strings.TrimSpace(id)
+		}
 	}
-	for _, id := range ids {
-		id = strings.TrimSpace(id)
-		runner, ok := registry[id]
+	runners := make([]experiments.Runner, len(ids))
+	for i, id := range ids {
+		runner, ok := experiments.Lookup(id)
 		if !ok {
 			return fmt.Errorf("unknown figure %q (use -list)", id)
 		}
-		start := time.Now()
-		result, err := runner(scale)
-		if err != nil {
-			return fmt.Errorf("%s: %w", id, err)
+		runners[i] = runner
+	}
+	workers := *parallel
+	if workers < 1 {
+		workers = 1
+	}
+
+	// Worker pool: each figure runs independently under a semaphore; the
+	// main goroutine commits results strictly in figure order.
+	results := make([]chan figResult, len(ids))
+	sem := make(chan struct{}, workers)
+	for i := range ids {
+		results[i] = make(chan figResult, 1)
+		go func(i int) {
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			start := time.Now()
+			r, err := runners[i](scale)
+			res := figResult{elapsed: time.Since(start), err: err}
+			if err == nil {
+				res.rendered = r.Render()
+			}
+			results[i] <- res
+		}(i)
+	}
+	for i, id := range ids {
+		res := <-results[i]
+		if res.err != nil {
+			return fmt.Errorf("%s: %w", id, res.err)
 		}
-		fmt.Printf("=== %s (%s scale, %.1fs) ===\n%s\n", id, scale, time.Since(start).Seconds(), result.Render())
+		fmt.Fprintf(os.Stderr, "figures: %s finished in %.1fs\n", id, res.elapsed.Seconds())
+		fmt.Printf("=== %s (%s scale) ===\n%s\n", id, scale, res.rendered)
 	}
 	return nil
 }

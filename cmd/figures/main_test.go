@@ -1,6 +1,11 @@
 package main
 
-import "testing"
+import (
+	"bytes"
+	"io"
+	"os"
+	"testing"
+)
 
 func TestRunList(t *testing.T) {
 	if err := run([]string{"-list"}); err != nil {
@@ -21,5 +26,51 @@ func TestRunErrors(t *testing.T) {
 	}
 	if err := run([]string{"-bogus"}); err == nil {
 		t.Error("expected flag parse error")
+	}
+	if err := run([]string{"-fig", "fig04", "-parallel", "0"}); err != nil {
+		t.Errorf("parallel < 1 should clamp to serial, got %v", err)
+	}
+}
+
+// capture runs fn with stdout redirected and returns what it printed.
+func capture(t *testing.T, fn func() error) []byte {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	defer func() { os.Stdout = old }()
+	done := make(chan []byte)
+	go func() {
+		var buf bytes.Buffer
+		io.Copy(&buf, r)
+		done <- buf.Bytes()
+	}()
+	ferr := fn()
+	w.Close()
+	out := <-done
+	if ferr != nil {
+		t.Fatal(ferr)
+	}
+	return out
+}
+
+// TestParallelOutputMatchesSerial is the acceptance check for the worker
+// pool: figure tables on stdout must be byte-identical no matter how many
+// workers run. The chosen figures exercise deterministic analytics and
+// trace-backed experiments.
+func TestParallelOutputMatchesSerial(t *testing.T) {
+	args := func(parallel string) []string {
+		return []string{"-small", "-parallel", parallel, "-fig", "fig04,fig09,fig05,fig02"}
+	}
+	serial := capture(t, func() error { return run(args("1")) })
+	parallel := capture(t, func() error { return run(args("4")) })
+	if len(serial) == 0 {
+		t.Fatal("serial run printed nothing")
+	}
+	if !bytes.Equal(serial, parallel) {
+		t.Errorf("parallel stdout differs from serial:\n--- serial ---\n%s\n--- parallel ---\n%s", serial, parallel)
 	}
 }

@@ -3,20 +3,25 @@
 // mean, the overhead and the efficiency — the paper's evaluation metrics
 // for a single run.
 //
+// The sampler is built through the core registry: either from the
+// -technique/-rate/... flags (which are assembled into a spec string) or
+// directly from a -spec string, the same syntax the pipeline probes use.
+//
 // Examples:
 //
 //	samplectl -technique systematic -rate 1e-3 series.bin
 //	samplectl -technique bss -rate 1e-3 -L 10 -eps 1.0 series.bin
 //	samplectl -technique bss -rate 1e-3 -auto -alpha 1.5 -cs 0.02 series.bin
+//	samplectl -spec "bss:rate=1e-3,L=10,eps=1.0" series.bin
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"repro/internal/core"
-	"repro/internal/dist"
 	"repro/internal/stats"
 	"repro/internal/trace"
 )
@@ -31,7 +36,8 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("samplectl", flag.ContinueOnError)
 	var (
-		technique = fs.String("technique", "systematic", "systematic | stratified | simple | bernoulli | bss")
+		technique = fs.String("technique", "systematic", "one of: "+strings.Join(core.Names(), " | "))
+		spec      = fs.String("spec", "", `full sampler spec, e.g. "bss:rate=1e-3,L=10,eps=1.0" (overrides the other sampler flags)`)
 		rate      = fs.Float64("rate", 1e-3, "sampling rate (base samples per tick)")
 		seed      = fs.Uint64("seed", 1, "random seed for the randomized techniques")
 		offset    = fs.Int("offset", 0, "systematic/BSS starting offset")
@@ -59,40 +65,47 @@ func run(args []string) error {
 	if *rate <= 0 || *rate > 1 {
 		return fmt.Errorf("rate %g outside (0,1]", *rate)
 	}
-	interval := int(1/(*rate) + 0.5)
-	if interval < 1 {
-		interval = 1
+	interval, err := core.IntervalForRate(*rate)
+	if err != nil {
+		return err
 	}
 	realMean := stats.Mean(f)
 
-	var sampler core.Sampler
-	switch *technique {
-	case "systematic":
-		sampler, err = core.NewSystematic(interval, *offset%interval)
-	case "stratified":
-		sampler, err = core.NewStratified(interval, dist.NewRand(*seed))
-	case "simple":
-		sampler, err = core.NewSimpleRandom(max(1, len(f)/interval), dist.NewRand(*seed))
-	case "bernoulli":
-		sampler, err = core.NewBernoulli(*rate, dist.NewRand(*seed))
-	case "bss":
-		cfg := core.BSS{Interval: interval, Offset: *offset % interval, L: *l, Epsilon: *eps}
-		if *auto {
-			design, derr := core.NewBSSDesign(*alpha)
-			if derr != nil {
-				return derr
+	samplerSpec := *spec
+	if samplerSpec == "" {
+		switch *technique {
+		case "systematic":
+			samplerSpec = fmt.Sprintf("systematic:interval=%d,offset=%d", interval, *offset%interval)
+		case "stratified":
+			samplerSpec = fmt.Sprintf("stratified:interval=%d,seed=%d", interval, *seed)
+		case "simple", "simple-random":
+			samplerSpec = fmt.Sprintf("%s:rate=%g,seed=%d", *technique, *rate, *seed)
+		case "bernoulli":
+			samplerSpec = fmt.Sprintf("bernoulli:rate=%g,seed=%d", *rate, *seed)
+		case "bss":
+			bssL := *l
+			if *auto {
+				design, derr := core.NewBSSDesign(*alpha)
+				if derr != nil {
+					return derr
+				}
+				autoL, eta, derr := design.DesignForRate(*rate, *eps, *cs, 100)
+				if derr != nil {
+					return derr
+				}
+				bssL = autoL
+				fmt.Printf("auto design: eta(r)=%.3f -> L=%d (eps=%.2f)\n", eta, autoL, *eps)
 			}
-			autoL, eta, derr := design.DesignForRate(*rate, *eps, *cs, 100)
-			if derr != nil {
-				return derr
-			}
-			cfg.L = autoL
-			fmt.Printf("auto design: eta(r)=%.3f -> L=%d (eps=%.2f)\n", eta, autoL, *eps)
+			samplerSpec = fmt.Sprintf("bss:interval=%d,offset=%d,L=%d,eps=%g", interval, *offset%interval, bssL, *eps)
+		default:
+			// The flags above only map onto the built-in techniques; a
+			// registered extension needs its parameters spelled out rather
+			// than silently dropped.
+			return fmt.Errorf("unknown technique %q: use -spec for registered samplers (%s)",
+				*technique, strings.Join(core.Names(), ", "))
 		}
-		sampler = cfg
-	default:
-		return fmt.Errorf("unknown technique %q", *technique)
 	}
+	sampler, err := core.Lookup(samplerSpec)
 	if err != nil {
 		return err
 	}
@@ -104,6 +117,7 @@ func run(args []string) error {
 	eta := core.Eta(sampledMean, realMean)
 	base, qualified := core.CountKinds(samples)
 	fmt.Printf("technique:     %s\n", sampler.Name())
+	fmt.Printf("spec:          %s\n", samplerSpec)
 	fmt.Printf("series:        %d ticks, real mean %.6g\n", len(f), realMean)
 	fmt.Printf("samples:       %d (base %d, qualified %d)\n", len(samples), base, qualified)
 	fmt.Printf("sampled mean:  %.6g\n", sampledMean)

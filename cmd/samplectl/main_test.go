@@ -62,3 +62,16 @@ func TestRunErrors(t *testing.T) {
 		t.Error("expected open error")
 	}
 }
+
+func TestRunSpec(t *testing.T) {
+	path := writeSeries(t)
+	if err := run([]string{"-spec", "bss:rate=1e-2,L=5,eps=1.1", path}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-spec", "bss:rate=1e-2,bogus=1", path}); err == nil {
+		t.Error("expected unknown-parameter error")
+	}
+	if err := run([]string{"-spec", "stratified:interval=50,seed=4", path}); err != nil {
+		t.Fatal(err)
+	}
+}

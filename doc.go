@@ -5,7 +5,10 @@
 // The library lives under internal/: the paper's contribution (the three
 // classic sampling techniques, Biased Systematic Sampling, the SNC of
 // Theorem 1, the average-variance theory of Theorem 2 and the full BSS
-// parameter design) is in internal/core; the substrates it stands on —
+// parameter design) is in internal/core, where every technique is a
+// streaming StreamSampler state machine behind a spec-string registry
+// (core.Lookup("bss:rate=1e-3,L=10,eps=1.0")) and the batch Sampler
+// interface is a thin adapter over it; the substrates it stands on —
 // FFT/wavelets (internal/dsp), statistics (internal/stats), heavy-tailed
 // distributions (internal/dist), long-range dependence and Hurst
 // estimation (internal/lrd), traffic models and packet-trace synthesis

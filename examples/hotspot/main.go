@@ -12,7 +12,6 @@ import (
 	"log"
 	"sort"
 
-	"repro/internal/core"
 	"repro/internal/dist"
 	"repro/internal/pipeline"
 	"repro/internal/stats"
@@ -56,11 +55,11 @@ func main() {
 	// Probes: a systematic estimator, a BSS estimator, and an alarm that
 	// fires when a 5-sample rolling mean of every 4th bin exceeds 3x the
 	// long-run mean.
-	sys, err := pipeline.NewSystematicProbe("systematic", 4)
+	sys, err := pipeline.NewSpecProbe("systematic", "systematic:interval=4")
 	if err != nil {
 		log.Fatal(err)
 	}
-	bss, err := pipeline.NewBSSProbe("bss", core.BSS{Interval: 4, L: 2, Epsilon: 2.5})
+	bss, err := pipeline.NewSpecProbe("bss", "bss:interval=4,L=2,eps=2.5")
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -22,7 +22,7 @@ func TestPlacementValidation(t *testing.T) {
 
 func TestProbeOffsetsSpread(t *testing.T) {
 	b := BSS{Interval: 10, L: 4, Epsilon: 1}
-	got := b.probeOffsets(100, 1000)
+	got := b.probeOffsets(100, nil)
 	want := []int{102, 104, 106, 108}
 	if len(got) != len(want) {
 		t.Fatalf("offsets = %v, want %v", got, want)
@@ -32,16 +32,41 @@ func TestProbeOffsetsSpread(t *testing.T) {
 			t.Errorf("offset %d = %d, want %d", i, got[i], want[i])
 		}
 	}
-	// Truncated at the series end.
-	got = b.probeOffsets(100, 105)
-	if len(got) != 2 {
-		t.Errorf("end-truncated offsets = %v, want 2 entries", got)
+}
+
+// TestProbesTruncatedAtSeriesEnd checks that probes scheduled past the
+// end of the series simply never happen: the stream ends first.
+func TestProbesTruncatedAtSeriesEnd(t *testing.T) {
+	f := make([]float64, 105)
+	for i := range f {
+		f[i] = 1
+	}
+	for i := 100; i < 105; i++ {
+		f[i] = 100 // trigger at base sample 100; burst through the tail
+	}
+	b, err := NewBSSStatic(10, 4, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := b.Sample(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Spread probes for the trigger at 100 fall at 102, 104, 106, 108;
+	// only the first two exist.
+	if _, qualified := CountKinds(got); qualified != 2 {
+		t.Errorf("qualified = %d, want 2 (probes beyond the series end must be dropped)", qualified)
+	}
+	for _, s := range got {
+		if s.Index >= len(f) {
+			t.Errorf("sample index %d beyond series end", s.Index)
+		}
 	}
 }
 
 func TestProbeOffsetsChase(t *testing.T) {
 	b := BSS{Interval: 10, L: 4, Epsilon: 1, Placement: PlacementChase}
-	got := b.probeOffsets(100, 1000)
+	got := b.probeOffsets(100, nil)
 	want := []int{101, 102, 103, 104}
 	if len(got) != len(want) {
 		t.Fatalf("offsets = %v, want %v", got, want)
@@ -53,7 +78,7 @@ func TestProbeOffsetsChase(t *testing.T) {
 	}
 	// Chase never crosses into the next interval.
 	b.L = 20
-	got = b.probeOffsets(100, 1000)
+	got = b.probeOffsets(100, nil)
 	if len(got) != 9 { // 101..109
 		t.Errorf("chase with L > C kept %d probes, want 9", len(got))
 	}

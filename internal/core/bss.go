@@ -2,7 +2,6 @@ package core
 
 import (
 	"fmt"
-	"math"
 
 	"repro/internal/stats"
 )
@@ -94,10 +93,10 @@ func (b BSS) validate() error {
 	return nil
 }
 
-// probeOffsets appends the extra-probe indices for a trigger at base index
-// i, honoring the placement policy and skipping collisions/out-of-range.
-func (b BSS) probeOffsets(i, seriesLen int) []int {
-	out := make([]int, 0, b.L)
+// probeOffsets appends the extra-probe tick numbers for a trigger at base
+// tick i, honoring the placement policy and skipping collisions. The
+// stream has no end, so out-of-range probes simply never arrive.
+func (b BSS) probeOffsets(i int, dst []int) []int {
 	prev := i
 	for j := 1; j <= b.L; j++ {
 		var idx int
@@ -109,66 +108,29 @@ func (b BSS) probeOffsets(i, seriesLen int) []int {
 		} else {
 			idx = i + j*b.Interval/(b.L+1)
 		}
-		if idx == prev || idx >= seriesLen {
+		if idx == prev {
 			continue
 		}
 		prev = idx
-		out = append(out, idx)
+		dst = append(dst, idx)
 	}
-	return out
+	return dst
 }
 
 // Name implements Sampler.
 func (b BSS) Name() string { return "bss" }
 
+// Stream implements Streamer.
+func (b BSS) Stream() (StreamSampler, error) { return NewStreamBSS(b) }
+
 // Sample implements Sampler. The returned slice holds base samples
 // (Qualified=false) and kept extra samples (Qualified=true) in index
 // order.
-func (b BSS) Sample(f []float64) ([]Sample, error) {
-	if err := b.validate(); err != nil {
-		return nil, err
-	}
-	if len(f) == 0 {
-		return nil, fmt.Errorf("core: cannot sample an empty series")
-	}
-	pre := b.PreSamples
-	if pre == 0 {
-		pre = 10
-	}
-	out := make([]Sample, 0, len(f)/b.Interval+1)
-	var running stats.Accumulator
-	baseSeen := 0
-	ath := b.Threshold
-	for i := b.Offset; i < len(f); i += b.Interval {
-		v := f[i]
-		out = append(out, Sample{Index: i, Value: v})
-		running.Add(v)
-		baseSeen++
-		if b.Threshold == 0 {
-			// Adaptive rule: retune at each base sample, frozen during the
-			// extra probes below. No threshold until warm-up completes.
-			if baseSeen < pre {
-				continue
-			}
-			ath = b.Epsilon * running.Mean()
-		}
-		if v <= ath {
-			continue
-		}
-		// Trigger: probe the interval per the placement policy.
-		for _, idx := range b.probeOffsets(i, len(f)) {
-			if w := f[idx]; w > ath {
-				out = append(out, Sample{Index: idx, Value: w, Qualified: true})
-				running.Add(w)
-			}
-		}
-	}
-	return out, nil
-}
+func (b BSS) Sample(f []float64) ([]Sample, error) { return sampleViaStream(b, f) }
 
-// StreamBSS is the online form of BSS for router-style deployment: values
-// are offered one tick at a time and the sampler answers whether this tick
-// is recorded. It implements the same policy as BSS.Sample.
+// StreamBSS is the online form of BSS for router-style deployment: the
+// BSS streaming state machine behind both the batch Sample adapter and
+// the pipeline probes. It implements StreamSampler.
 //
 // The zero value is not usable; construct with NewStreamBSS.
 type StreamBSS struct {
@@ -193,15 +155,19 @@ func NewStreamBSS(cfg BSS) (*StreamBSS, error) {
 	return &StreamBSS{cfg: cfg, nextBase: cfg.Offset, ath: cfg.Threshold, armed: cfg.Threshold > 0}, nil
 }
 
-// Offer presents the next tick's value. It returns whether the value was
-// recorded and whether it was recorded as a qualified (extra) sample.
-func (s *StreamBSS) Offer(v float64) (kept, qualified bool) {
+// Name implements StreamSampler.
+func (s *StreamBSS) Name() string { return "bss" }
+
+// Offer implements StreamSampler. Base samples are emitted
+// unconditionally; extra probes are emitted only when they qualify
+// (exceed the threshold frozen at the triggering base sample).
+func (s *StreamBSS) Offer(index int, value float64) (Sample, bool) {
 	t := s.tick
 	s.tick++
 	if t == s.nextBase {
 		s.nextBase += s.cfg.Interval
 		s.extras = s.extras[:0]
-		s.running.Add(v)
+		s.running.Add(value)
 		s.baseSeen++
 		if s.cfg.Threshold == 0 {
 			if s.baseSeen >= s.cfg.PreSamples {
@@ -209,21 +175,25 @@ func (s *StreamBSS) Offer(v float64) (kept, qualified bool) {
 				s.armed = true
 			}
 		}
-		if s.armed && v > s.ath {
-			// math.MaxInt as the series length: the stream has no end.
-			s.extras = append(s.extras, s.cfg.probeOffsets(t, math.MaxInt)...)
+		if s.armed && value > s.ath {
+			s.extras = s.cfg.probeOffsets(t, s.extras)
 		}
-		return true, false
+		return Sample{Index: index, Value: value}, true
 	}
 	if len(s.extras) > 0 && s.extras[0] == t {
 		s.extras = s.extras[1:]
-		if v > s.ath {
-			s.running.Add(v)
-			return true, true
+		if value > s.ath {
+			s.running.Add(value)
+			return Sample{Index: index, Value: value, Qualified: true}, true
 		}
 	}
-	return false, false
+	return Sample{}, false
 }
+
+// Finish implements StreamSampler. Pending extra probes past the end of
+// the stream are dropped, matching the batch rule that probes never land
+// outside the series.
+func (s *StreamBSS) Finish() ([]Sample, error) { return nil, nil }
 
 // Mean returns the running mean over all kept samples, the estimator the
 // adaptive threshold is built on.
@@ -241,4 +211,8 @@ func (s *StreamBSS) Threshold() float64 {
 	return s.ath
 }
 
-var _ Sampler = BSS{}
+var (
+	_ Sampler       = BSS{}
+	_ Streamer      = BSS{}
+	_ StreamSampler = (*StreamBSS)(nil)
+)

@@ -225,8 +225,8 @@ func TestStreamBSSMatchesBatch(t *testing.T) {
 		}
 		var online []Sample
 		for i, v := range f {
-			if kept, qualified := stream.Offer(v); kept {
-				online = append(online, Sample{Index: i, Value: v, Qualified: qualified})
+			if smp, kept := stream.Offer(i, v); kept {
+				online = append(online, smp)
 			}
 		}
 		if len(online) != len(batch) {

@@ -1,0 +1,324 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// Spec syntax: a sampler is described by "name" or
+// "name:key=val,key=val,...", e.g.
+//
+//	systematic:interval=1000,offset=13
+//	bss:rate=1e-3,L=10,eps=1.0
+//	simple:rate=1e-2,seed=7
+//
+// Lookup parses the spec, finds the registered factory for name, builds
+// the sampler and rejects any parameter the factory did not consume, so
+// typos fail loudly instead of silently using defaults.
+
+// Params carries the parsed key=value parameters of a spec to a Factory.
+// Typed accessors record which keys were consumed; Lookup reports keys no
+// accessor touched as errors.
+type Params struct {
+	raw  map[string]string
+	used map[string]bool
+}
+
+// Float returns the named parameter as a float64, or def when absent.
+func (p *Params) Float(key string, def float64) (float64, error) {
+	s, ok := p.take(key)
+	if !ok {
+		return def, nil
+	}
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		return 0, fmt.Errorf("core: parameter %s=%q is not a number", key, s)
+	}
+	return v, nil
+}
+
+// Int returns the named parameter as an int, or def when absent.
+func (p *Params) Int(key string, def int) (int, error) {
+	s, ok := p.take(key)
+	if !ok {
+		return def, nil
+	}
+	v, err := strconv.Atoi(s)
+	if err != nil {
+		return 0, fmt.Errorf("core: parameter %s=%q is not an integer", key, s)
+	}
+	return v, nil
+}
+
+// Uint returns the named parameter as a uint64, or def when absent.
+func (p *Params) Uint(key string, def uint64) (uint64, error) {
+	s, ok := p.take(key)
+	if !ok {
+		return def, nil
+	}
+	v, err := strconv.ParseUint(s, 10, 64)
+	if err != nil {
+		return 0, fmt.Errorf("core: parameter %s=%q is not an unsigned integer", key, s)
+	}
+	return v, nil
+}
+
+// String returns the named parameter verbatim, or def when absent.
+func (p *Params) String(key, def string) string {
+	if s, ok := p.take(key); ok {
+		return s
+	}
+	return def
+}
+
+func (p *Params) take(key string) (string, bool) {
+	s, ok := p.raw[key]
+	if ok {
+		p.used[key] = true
+	}
+	return s, ok
+}
+
+func (p *Params) unused() []string {
+	var out []string
+	for k := range p.raw {
+		if !p.used[k] {
+			out = append(out, k)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// ParseSpec splits a spec string into its technique name and parameters.
+func ParseSpec(spec string) (string, *Params, error) {
+	name, rest, hasParams := strings.Cut(spec, ":")
+	name = strings.TrimSpace(name)
+	if name == "" {
+		return "", nil, fmt.Errorf("core: empty sampler spec %q", spec)
+	}
+	p := &Params{raw: make(map[string]string), used: make(map[string]bool)}
+	if hasParams && strings.TrimSpace(rest) != "" {
+		for _, kv := range strings.Split(rest, ",") {
+			k, v, ok := strings.Cut(kv, "=")
+			k, v = strings.TrimSpace(k), strings.TrimSpace(v)
+			if !ok || k == "" || v == "" {
+				return "", nil, fmt.Errorf("core: spec parameter %q must be key=value", kv)
+			}
+			if _, dup := p.raw[k]; dup {
+				return "", nil, fmt.Errorf("core: duplicate spec parameter %q", k)
+			}
+			p.raw[k] = v
+		}
+	}
+	return name, p, nil
+}
+
+// Factory builds a sampler from parsed spec parameters. The returned
+// Sampler should also implement Streamer so LookupStream can hand it to
+// streaming consumers; every built-in factory does.
+type Factory func(p *Params) (Sampler, error)
+
+// registry is the process-wide sampler registry. Reads vastly outnumber
+// writes (registration happens at init time), hence the RWMutex.
+var registry = struct {
+	sync.RWMutex
+	m map[string]Factory
+}{m: make(map[string]Factory)}
+
+// Register adds a sampler factory under the given technique name. It is
+// safe for concurrent use and fails on empty names, names containing the
+// spec separators ':' ',' '=', nil factories and duplicates.
+func Register(name string, f Factory) error {
+	if strings.TrimSpace(name) == "" {
+		return fmt.Errorf("core: cannot register an empty sampler name")
+	}
+	if strings.ContainsAny(name, ":,= \t\n") {
+		return fmt.Errorf("core: sampler name %q contains spec syntax characters", name)
+	}
+	if f == nil {
+		return fmt.Errorf("core: nil factory for sampler %q", name)
+	}
+	registry.Lock()
+	defer registry.Unlock()
+	if _, dup := registry.m[name]; dup {
+		return fmt.Errorf("core: sampler %q already registered", name)
+	}
+	registry.m[name] = f
+	return nil
+}
+
+// mustRegister registers the built-in techniques at init time.
+func mustRegister(name string, f Factory) {
+	if err := Register(name, f); err != nil {
+		panic(err)
+	}
+}
+
+// Lookup builds a sampler from a spec string like
+// "bss:rate=1e-3,L=10,eps=1.0". Every registered technique name is valid;
+// see Names.
+func Lookup(spec string) (Sampler, error) {
+	name, p, err := ParseSpec(spec)
+	if err != nil {
+		return nil, err
+	}
+	registry.RLock()
+	f := registry.m[name]
+	registry.RUnlock()
+	if f == nil {
+		return nil, fmt.Errorf("core: unknown sampler %q (registered: %s)", name, strings.Join(Names(), ", "))
+	}
+	s, err := f(p)
+	if err != nil {
+		return nil, fmt.Errorf("core: building %q: %w", name, err)
+	}
+	if u := p.unused(); len(u) > 0 {
+		return nil, fmt.Errorf("core: sampler %q does not accept parameter(s) %s", name, strings.Join(u, ", "))
+	}
+	return s, nil
+}
+
+// LookupStream builds the streaming engine for a spec string.
+func LookupStream(spec string) (StreamSampler, error) {
+	s, err := Lookup(spec)
+	if err != nil {
+		return nil, err
+	}
+	c, ok := s.(Streamer)
+	if !ok {
+		return nil, fmt.Errorf("core: sampler %q has no streaming form", s.Name())
+	}
+	return c.Stream()
+}
+
+// Names returns the sorted names of every registered technique.
+func Names() []string {
+	registry.RLock()
+	out := make([]string, 0, len(registry.m))
+	for name := range registry.m {
+		out = append(out, name)
+	}
+	registry.RUnlock()
+	sort.Strings(out)
+	return out
+}
+
+// specInterval resolves the shared interval/rate parameter pair: an
+// explicit interval wins; otherwise a rate r in (0,1] maps to the base
+// interval round(1/r).
+func specInterval(p *Params) (int, error) {
+	interval, err := p.Int("interval", 0)
+	if err != nil {
+		return 0, err
+	}
+	rate, err := p.Float("rate", 0)
+	if err != nil {
+		return 0, err
+	}
+	if interval != 0 {
+		return interval, nil
+	}
+	if rate == 0 {
+		return 0, fmt.Errorf("core: spec needs interval=N or rate=R")
+	}
+	return IntervalForRate(rate)
+}
+
+func init() {
+	mustRegister("systematic", func(p *Params) (Sampler, error) {
+		interval, err := specInterval(p)
+		if err != nil {
+			return nil, err
+		}
+		offset, err := p.Int("offset", 0)
+		if err != nil {
+			return nil, err
+		}
+		return NewSystematic(interval, offset)
+	})
+	mustRegister("stratified", func(p *Params) (Sampler, error) {
+		interval, err := specInterval(p)
+		if err != nil {
+			return nil, err
+		}
+		seed, err := p.Uint("seed", 1)
+		if err != nil {
+			return nil, err
+		}
+		return NewStratified(interval, newRand(seed))
+	})
+	simple := func(p *Params) (Sampler, error) {
+		n, err := p.Int("n", 0)
+		if err != nil {
+			return nil, err
+		}
+		seed, err := p.Uint("seed", 1)
+		if err != nil {
+			return nil, err
+		}
+		if n > 0 {
+			return NewSimpleRandom(n, newRand(seed))
+		}
+		rate, err := p.Float("rate", 0)
+		if err != nil {
+			return nil, err
+		}
+		return NewSimpleRandomRate(rate, newRand(seed))
+	}
+	mustRegister("simple", simple)
+	mustRegister("simple-random", simple)
+	mustRegister("bernoulli", func(p *Params) (Sampler, error) {
+		rate, err := p.Float("rate", 0)
+		if err != nil {
+			return nil, err
+		}
+		seed, err := p.Uint("seed", 1)
+		if err != nil {
+			return nil, err
+		}
+		return NewBernoulli(rate, newRand(seed))
+	})
+	mustRegister("bss", func(p *Params) (Sampler, error) {
+		interval, err := specInterval(p)
+		if err != nil {
+			return nil, err
+		}
+		offset, err := p.Int("offset", 0)
+		if err != nil {
+			return nil, err
+		}
+		l, err := p.Int("L", 10)
+		if err != nil {
+			return nil, err
+		}
+		eps, err := p.Float("eps", 1.0)
+		if err != nil {
+			return nil, err
+		}
+		ath, err := p.Float("ath", 0)
+		if err != nil {
+			return nil, err
+		}
+		pre, err := p.Int("pre", 0)
+		if err != nil {
+			return nil, err
+		}
+		cfg := BSS{Interval: interval, Offset: offset, L: l, Epsilon: eps, Threshold: ath, PreSamples: pre}
+		switch placement := p.String("placement", "spread"); placement {
+		case "spread":
+			cfg.Placement = PlacementSpread
+		case "chase":
+			cfg.Placement = PlacementChase
+		default:
+			return nil, fmt.Errorf("core: unknown BSS placement %q (spread or chase)", placement)
+		}
+		if err := cfg.validate(); err != nil {
+			return nil, err
+		}
+		return cfg, nil
+	})
+}

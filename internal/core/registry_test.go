@@ -1,0 +1,166 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestParseSpec(t *testing.T) {
+	name, p, err := ParseSpec("bss:rate=1e-3,L=10,eps=1.0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if name != "bss" {
+		t.Errorf("name = %q", name)
+	}
+	if got, _ := p.Float("rate", 0); got != 1e-3 {
+		t.Errorf("rate = %g", got)
+	}
+	if got, _ := p.Int("L", 0); got != 10 {
+		t.Errorf("L = %d", got)
+	}
+	for _, bad := range []string{"", ":", "bss:rate", "bss:rate=", "bss:=3", "bss:a=1,a=2"} {
+		if _, _, err := ParseSpec(bad); err == nil {
+			t.Errorf("ParseSpec(%q): expected error", bad)
+		}
+	}
+	// Bare names and trailing colons are fine.
+	for _, ok := range []string{"systematic", "systematic:"} {
+		if _, _, err := ParseSpec(ok); err != nil {
+			t.Errorf("ParseSpec(%q): %v", ok, err)
+		}
+	}
+}
+
+func TestLookupBuildsEveryTechnique(t *testing.T) {
+	f := seq(10000)
+	for _, tc := range []struct{ spec, name string }{
+		{"systematic:interval=100", "systematic"},
+		{"systematic:rate=0.01,offset=3", "systematic"},
+		{"stratified:rate=0.01,seed=2", "stratified"},
+		{"simple:n=50,seed=3", "simple-random"},
+		{"simple-random:rate=0.01", "simple-random"},
+		{"bernoulli:rate=0.05,seed=4", "bernoulli"},
+		{"bss:rate=0.01,L=5,eps=1.2", "bss"},
+		{"bss:interval=100,L=5,ath=2.5", "bss"},
+	} {
+		s, err := Lookup(tc.spec)
+		if err != nil {
+			t.Fatalf("Lookup(%q): %v", tc.spec, err)
+		}
+		if s.Name() != tc.name {
+			t.Errorf("Lookup(%q).Name() = %q, want %q", tc.spec, s.Name(), tc.name)
+		}
+		got, err := s.Sample(f)
+		if err != nil {
+			t.Fatalf("Lookup(%q).Sample: %v", tc.spec, err)
+		}
+		if len(got) == 0 {
+			t.Errorf("Lookup(%q) kept no samples", tc.spec)
+		}
+		eng, err := LookupStream(tc.spec)
+		if err != nil {
+			t.Fatalf("LookupStream(%q): %v", tc.spec, err)
+		}
+		if eng.Name() == "" {
+			t.Errorf("LookupStream(%q): empty name", tc.spec)
+		}
+	}
+}
+
+func TestLookupErrors(t *testing.T) {
+	for _, bad := range []string{
+		"",
+		"warp-drive:rate=0.5",            // unregistered
+		"systematic",                     // no interval or rate
+		"systematic:interval=0",          // invalid config
+		"systematic:rate=3",              // rate out of range
+		"systematic:interval=10,bogus=1", // unconsumed parameter
+		"systematic:interval=ten",        // non-numeric
+		"bss:interval=10,placement=sideways",
+		"bernoulli:rate=0.5,seed=-1",
+	} {
+		if _, err := Lookup(bad); err == nil {
+			t.Errorf("Lookup(%q): expected error", bad)
+		}
+	}
+	// The unknown-name error should list what is registered.
+	_, err := Lookup("warp-drive")
+	if err == nil || !strings.Contains(err.Error(), "bss") {
+		t.Errorf("unknown-name error should list registered names, got %v", err)
+	}
+}
+
+func TestRegisterValidation(t *testing.T) {
+	if err := Register("", func(*Params) (Sampler, error) { return nil, nil }); err == nil {
+		t.Error("expected error for empty name")
+	}
+	if err := Register("has space", func(*Params) (Sampler, error) { return nil, nil }); err == nil {
+		t.Error("expected error for name with spec syntax characters")
+	}
+	if err := Register("nilfactory", nil); err == nil {
+		t.Error("expected error for nil factory")
+	}
+	if err := Register("systematic", func(*Params) (Sampler, error) { return nil, nil }); err == nil {
+		t.Error("expected error for duplicate registration")
+	}
+}
+
+func TestNamesSortedAndComplete(t *testing.T) {
+	names := Names()
+	if !sort.StringsAreSorted(names) {
+		t.Errorf("Names() not sorted: %v", names)
+	}
+	want := map[string]bool{
+		"systematic": true, "stratified": true, "simple": true,
+		"simple-random": true, "bernoulli": true, "bss": true,
+	}
+	for _, n := range names {
+		delete(want, n)
+	}
+	if len(want) > 0 {
+		t.Errorf("Names() missing built-ins: %v (got %v)", want, names)
+	}
+}
+
+// TestRegistryConcurrent hammers Register/Lookup/Names from many
+// goroutines; run with -race to verify the registry's locking.
+func TestRegistryConcurrent(t *testing.T) {
+	const workers = 16
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			name := fmt.Sprintf("race-probe-%d", w)
+			if err := Register(name, func(p *Params) (Sampler, error) {
+				interval, err := specInterval(p)
+				if err != nil {
+					return nil, err
+				}
+				return NewSystematic(interval, 0)
+			}); err != nil {
+				t.Errorf("Register(%s): %v", name, err)
+				return
+			}
+			for i := 0; i < 50; i++ {
+				if _, err := Lookup(name + ":interval=10"); err != nil {
+					t.Errorf("Lookup(%s): %v", name, err)
+					return
+				}
+				if _, err := Lookup("bss:rate=0.1,L=2"); err != nil {
+					t.Errorf("Lookup(bss): %v", err)
+					return
+				}
+				if len(Names()) < 6 {
+					t.Error("Names() lost entries")
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+}

@@ -8,16 +8,16 @@
 // xi, extra-sample count L, threshold ratio epsilon, overhead, and the
 // eta(r) convergence law).
 //
-// Samplers operate on a discrete traffic process f(t) represented as a
-// []float64 — "the traffic process measured at some fixed time
-// granularity" of the paper's Section II — and return the positions and
-// values they selected.
+// Every technique is implemented once, as an incremental StreamSampler
+// state machine consuming the traffic process f(t) tick by tick; the
+// batch Sampler interface below is a thin adapter over it (Collect). A
+// spec-string registry (Register/Lookup/Names) builds either form from
+// descriptions like "bss:rate=1e-3,L=10,eps=1.0".
 package core
 
 import (
 	"fmt"
 	"math/rand/v2"
-	"sort"
 )
 
 // Sample is one selected observation of the parent process.
@@ -45,32 +45,26 @@ type Systematic struct {
 
 // NewSystematic validates the parameters.
 func NewSystematic(interval, offset int) (Systematic, error) {
-	if interval < 1 {
-		return Systematic{}, fmt.Errorf("core: systematic interval %d must be >= 1", interval)
+	s := Systematic{Interval: interval, Offset: offset}
+	if err := s.validate(); err != nil {
+		return Systematic{}, err
 	}
-	if offset < 0 || offset >= interval {
-		return Systematic{}, fmt.Errorf("core: systematic offset %d outside [0, %d)", offset, interval)
-	}
-	return Systematic{Interval: interval, Offset: offset}, nil
+	return s, nil
 }
 
 // Name implements Sampler.
 func (s Systematic) Name() string { return "systematic" }
 
-// Sample implements Sampler.
-func (s Systematic) Sample(f []float64) ([]Sample, error) {
+// Stream implements Streamer.
+func (s Systematic) Stream() (StreamSampler, error) {
 	if err := s.validate(); err != nil {
 		return nil, err
 	}
-	if len(f) == 0 {
-		return nil, fmt.Errorf("core: cannot sample an empty series")
-	}
-	out := make([]Sample, 0, len(f)/s.Interval+1)
-	for i := s.Offset; i < len(f); i += s.Interval {
-		out = append(out, Sample{Index: i, Value: f[i]})
-	}
-	return out, nil
+	return &streamSystematic{interval: s.Interval, next: s.Offset}, nil
 }
+
+// Sample implements Sampler.
+func (s Systematic) Sample(f []float64) ([]Sample, error) { return sampleViaStream(s, f) }
 
 func (s Systematic) validate() error {
 	if s.Interval < 1 {
@@ -92,90 +86,94 @@ type Stratified struct {
 
 // NewStratified validates the parameters.
 func NewStratified(interval int, rng *rand.Rand) (Stratified, error) {
-	if interval < 1 {
-		return Stratified{}, fmt.Errorf("core: stratified interval %d must be >= 1", interval)
+	s := Stratified{Interval: interval, Rng: rng}
+	if err := s.validate(); err != nil {
+		return Stratified{}, err
 	}
-	if rng == nil {
-		return Stratified{}, fmt.Errorf("core: stratified sampling needs a random source")
-	}
-	return Stratified{Interval: interval, Rng: rng}, nil
+	return s, nil
 }
 
 // Name implements Sampler.
 func (s Stratified) Name() string { return "stratified" }
 
+// Stream implements Streamer.
+func (s Stratified) Stream() (StreamSampler, error) {
+	if err := s.validate(); err != nil {
+		return nil, err
+	}
+	return &streamStratified{interval: s.Interval, rng: s.Rng}, nil
+}
+
 // Sample implements Sampler.
-func (s Stratified) Sample(f []float64) ([]Sample, error) {
+func (s Stratified) Sample(f []float64) ([]Sample, error) { return sampleViaStream(s, f) }
+
+func (s Stratified) validate() error {
 	if s.Interval < 1 {
-		return nil, fmt.Errorf("core: stratified interval %d must be >= 1", s.Interval)
+		return fmt.Errorf("core: stratified interval %d must be >= 1", s.Interval)
 	}
 	if s.Rng == nil {
-		return nil, fmt.Errorf("core: stratified sampling needs a random source")
+		return fmt.Errorf("core: stratified sampling needs a random source")
 	}
-	if len(f) == 0 {
-		return nil, fmt.Errorf("core: cannot sample an empty series")
-	}
-	out := make([]Sample, 0, len(f)/s.Interval+1)
-	for start := 0; start+s.Interval <= len(f); start += s.Interval {
-		idx := start + s.Rng.IntN(s.Interval)
-		out = append(out, Sample{Index: idx, Value: f[idx]})
-	}
-	return out, nil
+	return nil
 }
 
-// SimpleRandom is simple random sampling: N positions drawn uniformly
-// without replacement from the whole series.
+// SimpleRandom is simple random sampling: positions drawn uniformly
+// without replacement from the whole series. The size is either fixed (N)
+// or population-relative (Rate, used when N == 0): with Rate r the draw
+// keeps max(1, len(f)/round(1/r)) positions.
 type SimpleRandom struct {
-	N   int
-	Rng *rand.Rand
+	N    int
+	Rate float64
+	Rng  *rand.Rand
 }
 
-// NewSimpleRandom validates the parameters.
+// NewSimpleRandom validates a fixed-size configuration.
 func NewSimpleRandom(n int, rng *rand.Rand) (SimpleRandom, error) {
-	if n < 1 {
-		return SimpleRandom{}, fmt.Errorf("core: simple random sample size %d must be >= 1", n)
+	s := SimpleRandom{N: n, Rng: rng}
+	if err := s.validate(); err != nil {
+		return SimpleRandom{}, err
 	}
-	if rng == nil {
-		return SimpleRandom{}, fmt.Errorf("core: simple random sampling needs a random source")
+	return s, nil
+}
+
+// NewSimpleRandomRate validates a population-relative configuration.
+func NewSimpleRandomRate(rate float64, rng *rand.Rand) (SimpleRandom, error) {
+	s := SimpleRandom{Rate: rate, Rng: rng}
+	if err := s.validate(); err != nil {
+		return SimpleRandom{}, err
 	}
-	return SimpleRandom{N: n, Rng: rng}, nil
+	return s, nil
 }
 
 // Name implements Sampler.
 func (s SimpleRandom) Name() string { return "simple-random" }
 
-// Sample implements Sampler. Selection uses a partial Fisher-Yates over
-// the index set, O(len(f)) memory and O(N) swaps, then sorts the chosen
-// indices.
-func (s SimpleRandom) Sample(f []float64) ([]Sample, error) {
-	if s.N < 1 {
-		return nil, fmt.Errorf("core: simple random sample size %d must be >= 1", s.N)
+// Stream implements Streamer. The streaming form buffers the series and
+// draws at Finish — a draw without replacement needs the population.
+func (s SimpleRandom) Stream() (StreamSampler, error) {
+	if err := s.validate(); err != nil {
+		return nil, err
+	}
+	return &streamSimpleRandom{n: s.N, rate: s.Rate, rng: s.Rng}, nil
+}
+
+// Sample implements Sampler.
+func (s SimpleRandom) Sample(f []float64) ([]Sample, error) { return sampleViaStream(s, f) }
+
+func (s SimpleRandom) validate() error {
+	if s.N < 1 && s.Rate == 0 {
+		return fmt.Errorf("core: simple random sample size %d must be >= 1", s.N)
+	}
+	if s.N < 0 {
+		return fmt.Errorf("core: simple random sample size %d must be >= 0", s.N)
+	}
+	if s.N == 0 && (!(s.Rate > 0) || s.Rate > 1) {
+		return fmt.Errorf("core: simple random rate %g outside (0,1]", s.Rate)
 	}
 	if s.Rng == nil {
-		return nil, fmt.Errorf("core: simple random sampling needs a random source")
+		return fmt.Errorf("core: simple random sampling needs a random source")
 	}
-	if len(f) == 0 {
-		return nil, fmt.Errorf("core: cannot sample an empty series")
-	}
-	n := s.N
-	if n > len(f) {
-		return nil, fmt.Errorf("core: sample size %d exceeds population %d", n, len(f))
-	}
-	idx := make([]int, len(f))
-	for i := range idx {
-		idx[i] = i
-	}
-	for i := 0; i < n; i++ {
-		j := i + s.Rng.IntN(len(idx)-i)
-		idx[i], idx[j] = idx[j], idx[i]
-	}
-	chosen := idx[:n]
-	sort.Ints(chosen)
-	out := make([]Sample, n)
-	for i, k := range chosen {
-		out[i] = Sample{Index: k, Value: f[k]}
-	}
-	return out, nil
+	return nil
 }
 
 // Bernoulli is probabilistic 1-in-1/Rate sampling: each element is selected
@@ -189,42 +187,45 @@ type Bernoulli struct {
 
 // NewBernoulli validates the parameters.
 func NewBernoulli(rate float64, rng *rand.Rand) (Bernoulli, error) {
-	if !(rate > 0) || rate > 1 {
-		return Bernoulli{}, fmt.Errorf("core: Bernoulli rate %g outside (0,1]", rate)
+	b := Bernoulli{Rate: rate, Rng: rng}
+	if err := b.validate(); err != nil {
+		return Bernoulli{}, err
 	}
-	if rng == nil {
-		return Bernoulli{}, fmt.Errorf("core: Bernoulli sampling needs a random source")
-	}
-	return Bernoulli{Rate: rate, Rng: rng}, nil
+	return b, nil
 }
 
 // Name implements Sampler.
 func (s Bernoulli) Name() string { return "bernoulli" }
 
+// Stream implements Streamer.
+func (s Bernoulli) Stream() (StreamSampler, error) {
+	if err := s.validate(); err != nil {
+		return nil, err
+	}
+	return &streamBernoulli{rate: s.Rate, rng: s.Rng}, nil
+}
+
 // Sample implements Sampler.
-func (s Bernoulli) Sample(f []float64) ([]Sample, error) {
+func (s Bernoulli) Sample(f []float64) ([]Sample, error) { return sampleViaStream(s, f) }
+
+func (s Bernoulli) validate() error {
 	if !(s.Rate > 0) || s.Rate > 1 {
-		return nil, fmt.Errorf("core: Bernoulli rate %g outside (0,1]", s.Rate)
+		return fmt.Errorf("core: Bernoulli rate %g outside (0,1]", s.Rate)
 	}
 	if s.Rng == nil {
-		return nil, fmt.Errorf("core: Bernoulli sampling needs a random source")
+		return fmt.Errorf("core: Bernoulli sampling needs a random source")
 	}
-	if len(f) == 0 {
-		return nil, fmt.Errorf("core: cannot sample an empty series")
-	}
-	out := make([]Sample, 0, int(float64(len(f))*s.Rate)+1)
-	for i, v := range f {
-		if s.Rng.Float64() < s.Rate {
-			out = append(out, Sample{Index: i, Value: v})
-		}
-	}
-	return out, nil
+	return nil
 }
 
 // Interface compliance checks.
 var (
-	_ Sampler = Systematic{}
-	_ Sampler = Stratified{}
-	_ Sampler = SimpleRandom{}
-	_ Sampler = Bernoulli{}
+	_ Sampler  = Systematic{}
+	_ Sampler  = Stratified{}
+	_ Sampler  = SimpleRandom{}
+	_ Sampler  = Bernoulli{}
+	_ Streamer = Systematic{}
+	_ Streamer = Stratified{}
+	_ Streamer = SimpleRandom{}
+	_ Streamer = Bernoulli{}
 )

@@ -1,0 +1,226 @@
+package core
+
+import (
+	"fmt"
+	"math/rand/v2"
+	"sort"
+)
+
+// StreamSampler is the incremental form of a sampling technique: ticks of
+// the traffic process are offered one at a time, in order, and the
+// sampler emits each selected observation as soon as it is decidable.
+// This is the engine every consumer runs on; the batch Sampler.Sample
+// methods are thin adapters over it (see Collect).
+//
+// Implementations are single-goroutine state machines: they must not be
+// offered ticks from multiple goroutines concurrently.
+type StreamSampler interface {
+	// Name identifies the technique (for reports and experiment tables).
+	Name() string
+	// Offer presents the next tick. index is recorded in emitted samples
+	// and must increase by one per call starting from the first offered
+	// tick. It returns the sample finalized by this tick, if any — which
+	// may carry an earlier index when the decision was deferred (e.g.
+	// stratified sampling emits a stratum's pick only once the stratum is
+	// complete).
+	Offer(index int, value float64) (Sample, bool)
+	// Finish declares the end of the stream and returns any samples that
+	// could only be decided with the whole stream seen (e.g. simple random
+	// sampling's draw without replacement), or an error when the stream
+	// was unusable for the configured technique.
+	Finish() ([]Sample, error)
+}
+
+// Streamer is a sampler configuration that can produce a fresh streaming
+// engine. Every batch sampler in this package implements it; Stream
+// validates the configuration.
+type Streamer interface {
+	Name() string
+	Stream() (StreamSampler, error)
+}
+
+// Collect runs a streaming sampler over a complete series and gathers its
+// output — the bridge from the streaming engine back to the paper's batch
+// formulation f -> []Sample.
+func Collect(s StreamSampler, f []float64) ([]Sample, error) {
+	if len(f) == 0 {
+		return nil, fmt.Errorf("core: cannot sample an empty series")
+	}
+	out := make([]Sample, 0, 16)
+	for i, v := range f {
+		if smp, ok := s.Offer(i, v); ok {
+			out = append(out, smp)
+		}
+	}
+	tail, err := s.Finish()
+	if err != nil {
+		return nil, err
+	}
+	return append(out, tail...), nil
+}
+
+// sampleViaStream derives batch sampling from the streaming engine.
+func sampleViaStream(c Streamer, f []float64) ([]Sample, error) {
+	s, err := c.Stream()
+	if err != nil {
+		return nil, err
+	}
+	return Collect(s, f)
+}
+
+// IntervalForRate maps a sampling rate r in (0,1] to the base interval
+// round(1/r), never below 1 — the single conversion rule shared by the
+// spec registry, the rate-sized simple random draw and the CLIs.
+func IntervalForRate(rate float64) (int, error) {
+	if !(rate > 0) || rate > 1 {
+		return 0, fmt.Errorf("core: sampling rate %g outside (0,1]", rate)
+	}
+	interval := int(1/rate + 0.5)
+	if interval < 1 {
+		interval = 1
+	}
+	return interval, nil
+}
+
+// streamSystematic keeps every interval-th tick starting at offset.
+type streamSystematic struct {
+	interval int
+	next     int // tick count at which the next base sample falls
+	tick     int
+}
+
+// Name implements StreamSampler.
+func (p *streamSystematic) Name() string { return "systematic" }
+
+// Offer implements StreamSampler.
+func (p *streamSystematic) Offer(index int, value float64) (Sample, bool) {
+	t := p.tick
+	p.tick++
+	if t != p.next {
+		return Sample{}, false
+	}
+	p.next += p.interval
+	return Sample{Index: index, Value: value}, true
+}
+
+// Finish implements StreamSampler.
+func (p *streamSystematic) Finish() ([]Sample, error) { return nil, nil }
+
+// streamStratified draws one position per stratum. The position is drawn
+// when the stratum opens and the pick is emitted when the stratum
+// completes, so an incomplete trailing stratum contributes nothing — the
+// same rule as the batch formulation.
+type streamStratified struct {
+	interval int
+	rng      *rand.Rand
+	tick     int
+	pick     int // position within the current stratum
+	pending  Sample
+}
+
+// Name implements StreamSampler.
+func (p *streamStratified) Name() string { return "stratified" }
+
+// Offer implements StreamSampler.
+func (p *streamStratified) Offer(index int, value float64) (Sample, bool) {
+	pos := p.tick % p.interval
+	p.tick++
+	if pos == 0 {
+		p.pick = p.rng.IntN(p.interval)
+	}
+	if pos == p.pick {
+		p.pending = Sample{Index: index, Value: value}
+	}
+	if pos == p.interval-1 {
+		return p.pending, true
+	}
+	return Sample{}, false
+}
+
+// Finish implements StreamSampler.
+func (p *streamStratified) Finish() ([]Sample, error) { return nil, nil }
+
+// streamSimpleRandom buffers the stream and draws at Finish: a uniform
+// draw without replacement needs the whole population, so simple random
+// sampling is the one technique that is inherently offline. The buffer is
+// the machine's state; memory is O(stream length).
+type streamSimpleRandom struct {
+	n    int     // fixed sample size; 0 defers to rate
+	rate float64 // population-relative size when n == 0
+	rng  *rand.Rand
+	buf  []Sample
+}
+
+// Name implements StreamSampler.
+func (p *streamSimpleRandom) Name() string { return "simple-random" }
+
+// Offer implements StreamSampler.
+func (p *streamSimpleRandom) Offer(index int, value float64) (Sample, bool) {
+	p.buf = append(p.buf, Sample{Index: index, Value: value})
+	return Sample{}, false
+}
+
+// Finish implements StreamSampler. The selection is a partial
+// Fisher-Yates over the buffered positions followed by an index sort.
+func (p *streamSimpleRandom) Finish() ([]Sample, error) {
+	if len(p.buf) == 0 {
+		return nil, fmt.Errorf("core: cannot sample an empty series")
+	}
+	n := p.n
+	if n == 0 {
+		interval, err := IntervalForRate(p.rate)
+		if err != nil {
+			return nil, err
+		}
+		n = len(p.buf) / interval
+		if n < 1 {
+			n = 1
+		}
+	}
+	if n > len(p.buf) {
+		return nil, fmt.Errorf("core: sample size %d exceeds population %d", n, len(p.buf))
+	}
+	idx := make([]int, len(p.buf))
+	for i := range idx {
+		idx[i] = i
+	}
+	for i := 0; i < n; i++ {
+		j := i + p.rng.IntN(len(idx)-i)
+		idx[i], idx[j] = idx[j], idx[i]
+	}
+	chosen := idx[:n]
+	sort.Ints(chosen)
+	out := make([]Sample, n)
+	for i, k := range chosen {
+		out[i] = p.buf[k]
+	}
+	return out, nil
+}
+
+// streamBernoulli keeps each tick independently with probability rate.
+type streamBernoulli struct {
+	rate float64
+	rng  *rand.Rand
+}
+
+// Name implements StreamSampler.
+func (p *streamBernoulli) Name() string { return "bernoulli" }
+
+// Offer implements StreamSampler.
+func (p *streamBernoulli) Offer(index int, value float64) (Sample, bool) {
+	if p.rng.Float64() < p.rate {
+		return Sample{Index: index, Value: value}, true
+	}
+	return Sample{}, false
+}
+
+// Finish implements StreamSampler.
+func (p *streamBernoulli) Finish() ([]Sample, error) { return nil, nil }
+
+// Interface compliance checks.
+var (
+	_ StreamSampler = (*streamSystematic)(nil)
+	_ StreamSampler = (*streamStratified)(nil)
+	_ StreamSampler = (*streamSimpleRandom)(nil)
+	_ StreamSampler = (*streamBernoulli)(nil)
+)

@@ -1,0 +1,151 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/dist"
+)
+
+// streamTestTrace is a deterministic heavy-tailed trace shared by the
+// stream-vs-batch equality tests.
+func streamTestTrace(n int) []float64 {
+	rng := dist.NewRand(20050608)
+	p := dist.Pareto{Alpha: 1.4, Xm: 1}
+	f := make([]float64, n)
+	for i := range f {
+		f[i] = p.Sample(rng)
+	}
+	return f
+}
+
+// TestStreamMatchesBatchAllTechniques is the refactor's core invariant:
+// for every registered technique, feeding the streaming engine tick by
+// tick produces exactly the []Sample the batch adapter returns. Batch and
+// stream are built from the same spec (hence identically seeded random
+// sources) but are independent instances.
+func TestStreamMatchesBatchAllTechniques(t *testing.T) {
+	f := streamTestTrace(30000)
+	specs := []string{
+		"systematic:interval=37,offset=5",
+		"stratified:interval=41,seed=11",
+		"simple:n=500,seed=12",
+		"simple:rate=0.01,seed=13",
+		"bernoulli:rate=0.02,seed=14",
+		"bss:interval=40,L=6,eps=1.0",
+		"bss:interval=25,L=4,ath=5",
+		"bss:interval=100,L=12,eps=1.3,pre=20",
+		"bss:interval=50,L=5,eps=1.1,placement=chase",
+	}
+	for _, spec := range specs {
+		batchSampler, err := Lookup(spec)
+		if err != nil {
+			t.Fatalf("%s: %v", spec, err)
+		}
+		batch, err := batchSampler.Sample(f)
+		if err != nil {
+			t.Fatalf("%s: batch: %v", spec, err)
+		}
+		eng, err := LookupStream(spec)
+		if err != nil {
+			t.Fatalf("%s: %v", spec, err)
+		}
+		var online []Sample
+		for i, v := range f {
+			if smp, ok := eng.Offer(i, v); ok {
+				online = append(online, smp)
+			}
+		}
+		tail, err := eng.Finish()
+		if err != nil {
+			t.Fatalf("%s: finish: %v", spec, err)
+		}
+		online = append(online, tail...)
+		if len(online) != len(batch) {
+			t.Fatalf("%s: stream kept %d, batch kept %d", spec, len(online), len(batch))
+		}
+		for i := range batch {
+			if online[i] != batch[i] {
+				t.Fatalf("%s: sample %d differs: stream %+v vs batch %+v", spec, i, online[i], batch[i])
+			}
+		}
+		if len(batch) == 0 {
+			t.Errorf("%s: kept no samples", spec)
+		}
+	}
+}
+
+// TestStreamStratifiedDropsPartialStratum pins the batch rule in the
+// streaming engine: a trailing incomplete stratum contributes no sample.
+func TestStreamStratifiedDropsPartialStratum(t *testing.T) {
+	s, err := NewStratified(10, newRand(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := s.Sample(seq(25)) // strata [0,10) [10,20); [20,25) incomplete
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 {
+		t.Fatalf("kept %d samples, want 2", len(got))
+	}
+	for i, smp := range got {
+		if smp.Index < i*10 || smp.Index >= (i+1)*10 {
+			t.Errorf("sample %d at index %d outside its stratum", i, smp.Index)
+		}
+	}
+}
+
+// TestStreamSimpleRandomErrors exercises the deferred error path: the
+// population check can only happen at Finish.
+func TestStreamSimpleRandomErrors(t *testing.T) {
+	eng, err := SimpleRandom{N: 10, Rng: newRand(1)}.Stream()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eng.Finish(); err == nil {
+		t.Error("expected empty-stream error")
+	}
+	eng2, err := SimpleRandom{N: 10, Rng: newRand(1)}.Stream()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		eng2.Offer(i, 1)
+	}
+	if _, err := eng2.Finish(); err == nil {
+		t.Error("expected n > population error")
+	}
+}
+
+// TestSimpleRandomRate checks the population-relative size rule
+// n = max(1, len(f)/round(1/rate)).
+func TestSimpleRandomRate(t *testing.T) {
+	s, err := NewSimpleRandomRate(0.01, newRand(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := s.Sample(seq(5000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 50 {
+		t.Errorf("kept %d samples, want 50", len(got))
+	}
+	if _, err := NewSimpleRandomRate(0, newRand(9)); err == nil {
+		t.Error("expected error for rate 0")
+	}
+	if _, err := NewSimpleRandomRate(1.5, newRand(9)); err == nil {
+		t.Error("expected error for rate > 1")
+	}
+}
+
+// TestCollectEmptySeries pins the adapter's empty-series error.
+func TestCollectEmptySeries(t *testing.T) {
+	eng, err := Systematic{Interval: 3}.Stream()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Collect(eng, nil); err == nil {
+		t.Error("expected error for empty series")
+	}
+}

@@ -38,42 +38,66 @@ type Renderer interface {
 // Runner executes one figure's experiment.
 type Runner func(Scale) (Renderer, error)
 
-// Registry maps figure identifiers ("fig02" ... "fig22") to their runners.
-func Registry() map[string]Runner {
-	return map[string]Runner{
-		"fig02": func(s Scale) (Renderer, error) { return Fig02(s) },
-		"fig03": func(s Scale) (Renderer, error) { return Fig03(s) },
-		"fig04": func(s Scale) (Renderer, error) { return Fig04(s) },
-		"fig05": func(s Scale) (Renderer, error) { return Fig05(s) },
-		"fig06": func(s Scale) (Renderer, error) { return Fig06(s) },
-		"fig07": func(s Scale) (Renderer, error) { return Fig07(s) },
-		"fig08": func(s Scale) (Renderer, error) { return Fig08(s) },
-		"fig09": func(s Scale) (Renderer, error) { return Fig09(s) },
-		"fig10": func(s Scale) (Renderer, error) { return Fig10(s) },
-		"fig11": func(s Scale) (Renderer, error) { return Fig11(s) },
-		"fig12": func(s Scale) (Renderer, error) { return Fig12(s) },
-		"fig13": func(s Scale) (Renderer, error) { return Fig13(s) },
-		"fig14": func(s Scale) (Renderer, error) { return Fig14(s) },
-		"fig15": func(s Scale) (Renderer, error) { return Fig15(s) },
-		"fig16": func(s Scale) (Renderer, error) { return Fig16(s) },
-		"fig17": func(s Scale) (Renderer, error) { return Fig17(s) },
-		"fig18": func(s Scale) (Renderer, error) { return Fig18(s) },
-		"fig19": func(s Scale) (Renderer, error) { return Fig19(s) },
-		"fig20": func(s Scale) (Renderer, error) { return Fig20(s) },
-		"fig21": func(s Scale) (Renderer, error) { return Fig21(s) },
-		"fig22": func(s Scale) (Renderer, error) { return Fig22(s) },
-	}
+// registry maps figure identifiers ("fig02" ... "fig22") to their
+// runners. It is built once at package init and never mutated; Registry
+// hands it out read-only instead of rebuilding the map per call.
+var registry = map[string]Runner{
+	"fig02": func(s Scale) (Renderer, error) { return Fig02(s) },
+	"fig03": func(s Scale) (Renderer, error) { return Fig03(s) },
+	"fig04": func(s Scale) (Renderer, error) { return Fig04(s) },
+	"fig05": func(s Scale) (Renderer, error) { return Fig05(s) },
+	"fig06": func(s Scale) (Renderer, error) { return Fig06(s) },
+	"fig07": func(s Scale) (Renderer, error) { return Fig07(s) },
+	"fig08": func(s Scale) (Renderer, error) { return Fig08(s) },
+	"fig09": func(s Scale) (Renderer, error) { return Fig09(s) },
+	"fig10": func(s Scale) (Renderer, error) { return Fig10(s) },
+	"fig11": func(s Scale) (Renderer, error) { return Fig11(s) },
+	"fig12": func(s Scale) (Renderer, error) { return Fig12(s) },
+	"fig13": func(s Scale) (Renderer, error) { return Fig13(s) },
+	"fig14": func(s Scale) (Renderer, error) { return Fig14(s) },
+	"fig15": func(s Scale) (Renderer, error) { return Fig15(s) },
+	"fig16": func(s Scale) (Renderer, error) { return Fig16(s) },
+	"fig17": func(s Scale) (Renderer, error) { return Fig17(s) },
+	"fig18": func(s Scale) (Renderer, error) { return Fig18(s) },
+	"fig19": func(s Scale) (Renderer, error) { return Fig19(s) },
+	"fig20": func(s Scale) (Renderer, error) { return Fig20(s) },
+	"fig21": func(s Scale) (Renderer, error) { return Fig21(s) },
+	"fig22": func(s Scale) (Renderer, error) { return Fig22(s) },
 }
 
-// FigureIDs returns the registry keys in order.
-func FigureIDs() []string {
-	ids := make([]string, 0, 21)
-	for id := range Registry() {
+// figureIDs is the sorted key list, computed once.
+var figureIDs = func() []string {
+	ids := make([]string, 0, len(registry))
+	for id := range registry {
 		ids = append(ids, id)
 	}
 	sort.Strings(ids)
 	return ids
+}()
+
+// Lookup returns the runner for a figure identifier.
+func Lookup(id string) (Runner, bool) {
+	r, ok := registry[id]
+	return r, ok
 }
+
+// Registry returns a copy of the figure registry, so callers can iterate
+// or mutate freely without corrupting the shared map the parallel figure
+// runner reads. Use Lookup for single-figure access.
+func Registry() map[string]Runner {
+	out := make(map[string]Runner, len(registry))
+	for id, r := range registry {
+		out[id] = r
+	}
+	return out
+}
+
+// Names returns the sorted figure identifiers.
+func Names() []string { return append([]string(nil), figureIDs...) }
+
+// FigureIDs returns the registry keys in order (an alias of Names kept
+// for existing callers).
+func FigureIDs() []string { return Names() }
 
 // table is a small text-table builder used by every Render method.
 type table struct {

@@ -4,6 +4,10 @@
 // ticks concurrently. It demonstrates how the paper's samplers deploy in
 // an online measurement pipeline with bounded memory, explicit
 // backpressure (blocking channels) and context-based shutdown.
+//
+// The package holds no per-technique sampling code: every probe wraps a
+// core.StreamSampler, built directly or from a registry spec string like
+// "bss:rate=1e-3,L=10,eps=1.0" (see SamplerProbe and NewSpecProbe).
 package pipeline
 
 import (
@@ -39,6 +43,7 @@ type ProbeReport struct {
 	Seen      int     // ticks observed
 	Mean      float64 // estimated mean of f(t)
 	Qualified int     // BSS qualified samples (0 for classic probes)
+	Err       error   // deferred engine error (e.g. simple random over a too-short stream)
 }
 
 // BinTicks converts a time-sorted packet stream into ticks of the given
@@ -156,100 +161,90 @@ fanout:
 	return reports, runErr
 }
 
-// SystematicProbe keeps every Interval-th tick.
-type SystematicProbe struct {
-	name     string
-	interval int
-	seen     int
-	kept     int
-	sum      float64
+// SamplerProbe adapts any core.StreamSampler into a pipeline probe,
+// tracking the kept/qualified counts and running mean the reports need.
+// It is the only sampling probe in the package: which technique runs is
+// decided by the engine (or spec) it wraps, not by probe code.
+type SamplerProbe struct {
+	name      string
+	eng       core.StreamSampler
+	seen      int
+	kept      int
+	qualified int
+	sum       float64
+	finished  bool
+	finishErr error
 }
 
-// NewSystematicProbe validates and builds the probe.
-func NewSystematicProbe(name string, interval int) (*SystematicProbe, error) {
-	if interval < 1 {
-		return nil, fmt.Errorf("pipeline: systematic probe interval %d must be >= 1", interval)
+// NewSamplerProbe wraps an already-built streaming engine.
+func NewSamplerProbe(name string, eng core.StreamSampler) (*SamplerProbe, error) {
+	if eng == nil {
+		return nil, fmt.Errorf("pipeline: nil sampling engine")
 	}
 	if name == "" {
-		name = "systematic"
+		name = eng.Name()
 	}
-	return &SystematicProbe{name: name, interval: interval}, nil
+	return &SamplerProbe{name: name, eng: eng}, nil
+}
+
+// NewSpecProbe builds the probe's engine from a sampler registry spec
+// string such as "systematic:interval=10" or "bss:rate=1e-3,L=10".
+//
+// One caveat for long-running monitors: simple random sampling is
+// inherently offline, so a "simple"/"simple-random" engine buffers every
+// tick until Report — O(stream) memory, unlike the O(1) techniques.
+func NewSpecProbe(name, spec string) (*SamplerProbe, error) {
+	eng, err := core.LookupStream(spec)
+	if err != nil {
+		return nil, fmt.Errorf("pipeline: building probe from spec %q: %w", spec, err)
+	}
+	return NewSamplerProbe(name, eng)
 }
 
 // Name implements Probe.
-func (p *SystematicProbe) Name() string { return p.name }
+func (p *SamplerProbe) Name() string { return p.name }
 
 // Offer implements Probe.
-func (p *SystematicProbe) Offer(t Tick) {
-	if p.seen%p.interval == 0 {
-		p.kept++
-		p.sum += t.Value
-	}
+func (p *SamplerProbe) Offer(t Tick) {
 	p.seen++
+	if smp, ok := p.eng.Offer(t.Index, t.Value); ok {
+		p.record(smp)
+	}
 }
 
-// Report implements Probe.
-func (p *SystematicProbe) Report() ProbeReport {
-	r := ProbeReport{Name: p.name, Kept: p.kept, Seen: p.seen}
+func (p *SamplerProbe) record(s core.Sample) {
+	p.kept++
+	p.sum += s.Value
+	if s.Qualified {
+		p.qualified++
+	}
+}
+
+// Report implements Probe. The first call finalizes the engine, flushing
+// samples only decidable at end of stream (e.g. a simple-random draw).
+func (p *SamplerProbe) Report() ProbeReport {
+	if !p.finished {
+		p.finished = true
+		tail, err := p.eng.Finish()
+		p.finishErr = err
+		for _, s := range tail {
+			p.record(s)
+		}
+	}
+	r := ProbeReport{Name: p.name, Kept: p.kept, Seen: p.seen, Qualified: p.qualified, Err: p.finishErr}
 	if p.kept > 0 {
 		r.Mean = p.sum / float64(p.kept)
 	}
 	return r
 }
 
-// BSSProbe wraps core.StreamBSS as a pipeline probe.
-type BSSProbe struct {
-	name      string
-	stream    *core.StreamBSS
-	seen      int
-	kept      int
-	qualified int
-}
-
-// NewBSSProbe validates the BSS configuration and builds the probe.
-func NewBSSProbe(name string, cfg core.BSS) (*BSSProbe, error) {
-	s, err := core.NewStreamBSS(cfg)
-	if err != nil {
-		return nil, fmt.Errorf("pipeline: building BSS probe: %w", err)
-	}
-	if name == "" {
-		name = "bss"
-	}
-	return &BSSProbe{name: name, stream: s}, nil
-}
-
-// Name implements Probe.
-func (p *BSSProbe) Name() string { return p.name }
-
-// Offer implements Probe.
-func (p *BSSProbe) Offer(t Tick) {
-	kept, qualified := p.stream.Offer(t.Value)
-	p.seen++
-	if kept {
-		p.kept++
-	}
-	if qualified {
-		p.qualified++
-	}
-}
-
-// Report implements Probe.
-func (p *BSSProbe) Report() ProbeReport {
-	return ProbeReport{
-		Name:      p.name,
-		Kept:      p.kept,
-		Seen:      p.seen,
-		Mean:      p.stream.Mean(),
-		Qualified: p.qualified,
-	}
-}
-
 // ThresholdAlarmProbe raises a flag when the running short-window mean
 // exceeds level — the hot-spot / DoS detection use case the paper's
-// introduction motivates. It samples systematically to keep cost bounded.
+// introduction motivates. Tick selection is delegated to a systematic
+// StreamSampler so the alarm's cost stays bounded.
 type ThresholdAlarmProbe struct {
 	name     string
-	interval int
+	selector core.StreamSampler
 	level    float64
 	window   []float64
 	seen     int
@@ -264,10 +259,14 @@ func NewThresholdAlarmProbe(name string, interval, window int, level float64) (*
 	if interval < 1 || window < 1 {
 		return nil, fmt.Errorf("pipeline: alarm probe needs interval >= 1 and window >= 1 (got %d, %d)", interval, window)
 	}
+	selector, err := (core.Systematic{Interval: interval}).Stream()
+	if err != nil {
+		return nil, fmt.Errorf("pipeline: alarm probe selector: %w", err)
+	}
 	if name == "" {
 		name = "alarm"
 	}
-	return &ThresholdAlarmProbe{name: name, interval: interval, level: level, window: make([]float64, 0, window)}, nil
+	return &ThresholdAlarmProbe{name: name, selector: selector, level: level, window: make([]float64, 0, window)}, nil
 }
 
 // Name implements Probe.
@@ -275,17 +274,18 @@ func (p *ThresholdAlarmProbe) Name() string { return p.name }
 
 // Offer implements Probe.
 func (p *ThresholdAlarmProbe) Offer(t Tick) {
-	defer func() { p.seen++ }()
-	if p.seen%p.interval != 0 {
+	p.seen++
+	smp, ok := p.selector.Offer(t.Index, t.Value)
+	if !ok {
 		return
 	}
 	p.kept++
-	p.sum += t.Value
+	p.sum += smp.Value
 	if len(p.window) == cap(p.window) {
 		copy(p.window, p.window[1:])
 		p.window = p.window[:len(p.window)-1]
 	}
-	p.window = append(p.window, t.Value)
+	p.window = append(p.window, smp.Value)
 	if len(p.window) == cap(p.window) {
 		var s float64
 		for _, v := range p.window {
@@ -316,7 +316,6 @@ func (p *ThresholdAlarmProbe) Report() ProbeReport {
 
 // Interface compliance checks.
 var (
-	_ Probe = (*SystematicProbe)(nil)
-	_ Probe = (*BSSProbe)(nil)
+	_ Probe = (*SamplerProbe)(nil)
 	_ Probe = (*ThresholdAlarmProbe)(nil)
 )

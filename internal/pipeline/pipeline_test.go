@@ -8,6 +8,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/dist"
+	"repro/internal/lrd"
 	"repro/internal/stats"
 	"repro/internal/traffic"
 )
@@ -23,6 +24,15 @@ func testPackets(t *testing.T) []traffic.Packet {
 		t.Fatal(err)
 	}
 	return pkts
+}
+
+func specProbe(t *testing.T, name, spec string) *SamplerProbe {
+	t.Helper()
+	p, err := NewSpecProbe(name, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
 }
 
 func TestBinTicksMatchesBatchBinning(t *testing.T) {
@@ -94,8 +104,8 @@ func TestMonitorValidation(t *testing.T) {
 	if _, err := NewMonitor(); err == nil {
 		t.Error("expected error for no probes")
 	}
-	p1, _ := NewSystematicProbe("a", 10)
-	p2, _ := NewSystematicProbe("a", 20)
+	p1 := specProbe(t, "a", "systematic:interval=10")
+	p2 := specProbe(t, "a", "systematic:interval=20")
 	if _, err := NewMonitor(p1, p2); err == nil {
 		t.Error("expected error for duplicate names")
 	}
@@ -112,14 +122,8 @@ func TestMonitorEndToEnd(t *testing.T) {
 	}
 	realMean := stats.Mean(f)
 
-	sys, err := NewSystematicProbe("", 10)
-	if err != nil {
-		t.Fatal(err)
-	}
-	bss, err := NewBSSProbe("", core.BSS{Interval: 10, L: 3, Epsilon: 1.2})
-	if err != nil {
-		t.Fatal(err)
-	}
+	sys := specProbe(t, "", "systematic:interval=10")
+	bss := specProbe(t, "", "bss:interval=10,L=3,eps=1.2")
 	alarm, err := NewThresholdAlarmProbe("", 5, 4, realMean*3)
 	if err != nil {
 		t.Fatal(err)
@@ -145,6 +149,9 @@ func TestMonitorEndToEnd(t *testing.T) {
 		if r.Seen != len(f) && r.Seen != len(f)-1 {
 			t.Errorf("%s saw %d ticks, want ~%d", r.Name, r.Seen, len(f))
 		}
+		if r.Err != nil {
+			t.Errorf("%s: %v", r.Name, r.Err)
+		}
 	}
 	// The systematic probe's estimate should be in the right ballpark.
 	if math.Abs(reports[0].Mean-realMean)/realMean > 0.5 {
@@ -156,7 +163,7 @@ func TestMonitorEndToEnd(t *testing.T) {
 }
 
 func TestMonitorCancelledContext(t *testing.T) {
-	sys, _ := NewSystematicProbe("", 1)
+	sys := specProbe(t, "", "systematic:interval=1")
 	mon, err := NewMonitor(sys)
 	if err != nil {
 		t.Fatal(err)
@@ -170,17 +177,30 @@ func TestMonitorCancelledContext(t *testing.T) {
 }
 
 func TestProbeValidation(t *testing.T) {
-	if _, err := NewSystematicProbe("x", 0); err == nil {
+	if _, err := NewSpecProbe("x", "systematic:interval=0"); err == nil {
 		t.Error("expected error for interval 0")
 	}
-	if _, err := NewBSSProbe("x", core.BSS{Interval: 0, L: 1, Epsilon: 1}); err == nil {
+	if _, err := NewSpecProbe("x", "bss:interval=0,L=1,eps=1"); err == nil {
 		t.Error("expected error for bad BSS config")
+	}
+	if _, err := NewSpecProbe("x", "no-such-sampler"); err == nil {
+		t.Error("expected error for unregistered technique")
+	}
+	if _, err := NewSamplerProbe("x", nil); err == nil {
+		t.Error("expected error for nil engine")
 	}
 	if _, err := NewThresholdAlarmProbe("x", 0, 5, 1); err == nil {
 		t.Error("expected error for interval 0")
 	}
 	if _, err := NewThresholdAlarmProbe("x", 5, 0, 1); err == nil {
 		t.Error("expected error for window 0")
+	}
+}
+
+func TestProbeDefaultNameComesFromEngine(t *testing.T) {
+	p := specProbe(t, "", "stratified:interval=5,seed=1")
+	if p.Name() != "stratified" {
+		t.Errorf("default probe name = %q, want the engine's", p.Name())
 	}
 }
 
@@ -209,28 +229,75 @@ func TestThresholdAlarmFires(t *testing.T) {
 	}
 }
 
-func TestSystematicProbeMatchesBatchSampler(t *testing.T) {
-	f := make([]float64, 1000)
-	rng := dist.NewRand(3)
-	for i := range f {
-		f[i] = rng.Float64()
-	}
-	probe, err := NewSystematicProbe("", 7)
+// fgnTrace is a deterministic fractional-Gaussian-noise series: the
+// self-similar workload of the paper's Section II, shifted to a positive
+// mean so BSS thresholds behave.
+func fgnTrace(t *testing.T, n int) []float64 {
+	t.Helper()
+	gen, err := lrd.NewFGN(0.8, n, 10, 2)
 	if err != nil {
 		t.Fatal(err)
 	}
-	for i, v := range f {
-		probe.Offer(Tick{Index: i, Value: v})
+	return gen.Generate(dist.NewRand(515))
+}
+
+// TestProbesMatchBatchOnFGN is the pipeline half of the refactor's
+// invariant: for every technique, a probe fed through the concurrent
+// monitor reports exactly the estimate the batch adapter computes from
+// the same fGn trace and the same spec.
+func TestProbesMatchBatchOnFGN(t *testing.T) {
+	f := fgnTrace(t, 1<<13)
+	specs := []string{
+		"systematic:interval=16,offset=3",
+		"stratified:interval=16,seed=21",
+		"simple:rate=0.05,seed=22",
+		"bernoulli:rate=0.05,seed=23",
+		"bss:interval=16,L=4,eps=1.1",
 	}
-	batch, err := (core.Systematic{Interval: 7}).Sample(f)
+	probes := make([]Probe, len(specs))
+	for i, spec := range specs {
+		probes[i] = specProbe(t, spec, spec) // spec doubles as the unique name
+	}
+	mon, err := NewMonitor(probes...)
 	if err != nil {
 		t.Fatal(err)
 	}
-	r := probe.Report()
-	if r.Kept != len(batch) {
-		t.Fatalf("probe kept %d, batch %d", r.Kept, len(batch))
+	ch := make(chan Tick, 256)
+	go func() {
+		for i, v := range f {
+			ch <- Tick{Index: i, Value: v}
+		}
+		close(ch)
+	}()
+	reports, err := mon.Run(context.Background(), ch)
+	if err != nil {
+		t.Fatal(err)
 	}
-	if math.Abs(r.Mean-core.MeanOf(batch)) > 1e-12 {
-		t.Errorf("probe mean %g vs batch %g", r.Mean, core.MeanOf(batch))
+	for i, spec := range specs {
+		sampler, err := core.Lookup(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		batch, err := sampler.Sample(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r := reports[i]
+		if r.Err != nil {
+			t.Fatalf("%s: %v", spec, r.Err)
+		}
+		if r.Seen != len(f) {
+			t.Errorf("%s: saw %d ticks, want %d", spec, r.Seen, len(f))
+		}
+		if r.Kept != len(batch) {
+			t.Errorf("%s: probe kept %d, batch kept %d", spec, r.Kept, len(batch))
+		}
+		_, qualified := core.CountKinds(batch)
+		if r.Qualified != qualified {
+			t.Errorf("%s: probe qualified %d, batch %d", spec, r.Qualified, qualified)
+		}
+		if math.Abs(r.Mean-core.MeanOf(batch)) > 1e-9 {
+			t.Errorf("%s: probe mean %g vs batch %g", spec, r.Mean, core.MeanOf(batch))
+		}
 	}
 }
