@@ -21,6 +21,7 @@ import (
 	"repro/internal/lrd"
 	"repro/internal/stats"
 	"repro/internal/traffic"
+	"repro/sampling"
 )
 
 // benchFigure runs one experiment per iteration at small scale.
@@ -254,6 +255,70 @@ func BenchmarkSamplerStream(b *testing.B) {
 func BenchmarkRegistryLookup(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		if _, err := core.Lookup("bss:rate=1e-3,L=10,eps=1.0"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Public sampling API ------------------------------------------------
+//
+// The public engine adds per-tick locking (for concurrent Snapshot) on
+// top of the raw core StreamSampler; these benchmarks track that tax and
+// the cost of live observation itself.
+
+// BenchmarkPublicEngineStream is the public-API counterpart of
+// BenchmarkSamplerStream: the per-tick cost a pipeline probe pays.
+func BenchmarkPublicEngineStream(b *testing.B) {
+	f := samplerBenchTrace()
+	for _, tc := range samplerBenchSpecs {
+		b.Run(tc.name, func(b *testing.B) {
+			spec := sampling.MustParse(tc.spec)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				eng, err := sampling.New(spec)
+				if err != nil {
+					b.Fatal(err)
+				}
+				for _, v := range f {
+					eng.Offer(v)
+				}
+				if _, err := eng.Finish(); err != nil {
+					b.Fatal(err)
+				}
+				if eng.Snapshot().Kept == 0 {
+					b.Fatal("kept no samples")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkPublicSnapshot measures one mid-stream observation of a warm
+// engine — the operation a live dashboard performs per refresh.
+func BenchmarkPublicSnapshot(b *testing.B) {
+	f := samplerBenchTrace()
+	eng, err := sampling.New(sampling.MustParse("bss:interval=1000,L=10,eps=1.0"))
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, v := range f[:1<<16] {
+		eng.Offer(v)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if sum := eng.Snapshot(); sum.Seen == 0 {
+			b.Fatal("empty snapshot")
+		}
+	}
+}
+
+// BenchmarkPublicNew tracks the typed parse + build control path of the
+// public API, the counterpart of BenchmarkRegistryLookup.
+func BenchmarkPublicNew(b *testing.B) {
+	spec := sampling.MustParse("bss:rate=1e-3,L=10,eps=1.0")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sampling.New(spec); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -3,9 +3,12 @@
 // mean, the overhead and the efficiency — the paper's evaluation metrics
 // for a single run.
 //
-// The sampler is built through the core registry: either from the
+// The sampler is built through the public sampling API: either from the
 // -technique/-rate/... flags (which are assembled into a spec string) or
 // directly from a -spec string, the same syntax the pipeline probes use.
+// With -snapshots N, a live summary (kept/seen, running mean, 95% CI) is
+// printed to stderr every N ticks while the run is in flight —
+// the engine's non-destructive Snapshot in action.
 //
 // Examples:
 //
@@ -13,6 +16,7 @@
 //	samplectl -technique bss -rate 1e-3 -L 10 -eps 1.0 series.bin
 //	samplectl -technique bss -rate 1e-3 -auto -alpha 1.5 -cs 0.02 series.bin
 //	samplectl -spec "bss:rate=1e-3,L=10,eps=1.0" series.bin
+//	samplectl -spec "bss:rate=1e-3,L=10,eps=1.0" -snapshots 100000 series.bin
 package main
 
 import (
@@ -21,9 +25,9 @@ import (
 	"os"
 	"strings"
 
-	"repro/internal/core"
 	"repro/internal/stats"
 	"repro/internal/trace"
+	"repro/sampling"
 )
 
 func main() {
@@ -36,7 +40,7 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("samplectl", flag.ContinueOnError)
 	var (
-		technique = fs.String("technique", "systematic", "one of: "+strings.Join(core.Names(), " | "))
+		technique = fs.String("technique", "systematic", "one of: "+strings.Join(sampling.Techniques(), " | "))
 		spec      = fs.String("spec", "", `full sampler spec, e.g. "bss:rate=1e-3,L=10,eps=1.0" (overrides the other sampler flags)`)
 		rate      = fs.Float64("rate", 1e-3, "sampling rate (base samples per tick)")
 		seed      = fs.Uint64("seed", 1, "random seed for the randomized techniques")
@@ -46,6 +50,7 @@ func run(args []string) error {
 		auto      = fs.Bool("auto", false, "BSS: derive L from the rate via Eq. (35)/(23)")
 		alpha     = fs.Float64("alpha", 1.5, "traffic tail index for -auto")
 		cs        = fs.Float64("cs", 0.02, "Cs constant of the eta(r) law for -auto")
+		watch     = fs.Int("snapshots", 0, "print a live engine snapshot to stderr every N ticks (0 = off)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -65,7 +70,7 @@ func run(args []string) error {
 	if *rate <= 0 || *rate > 1 {
 		return fmt.Errorf("rate %g outside (0,1]", *rate)
 	}
-	interval, err := core.IntervalForRate(*rate)
+	interval, err := sampling.IntervalForRate(*rate)
 	if err != nil {
 		return err
 	}
@@ -85,7 +90,7 @@ func run(args []string) error {
 		case "bss":
 			bssL := *l
 			if *auto {
-				design, derr := core.NewBSSDesign(*alpha)
+				design, derr := sampling.NewBSSDesign(*alpha)
 				if derr != nil {
 					return derr
 				}
@@ -102,29 +107,59 @@ func run(args []string) error {
 			// registered extension needs its parameters spelled out rather
 			// than silently dropped.
 			return fmt.Errorf("unknown technique %q: use -spec for registered samplers (%s)",
-				*technique, strings.Join(core.Names(), ", "))
+				*technique, strings.Join(sampling.Techniques(), ", "))
 		}
 	}
-	sampler, err := core.Lookup(samplerSpec)
+	parsed, err := sampling.Parse(samplerSpec)
 	if err != nil {
 		return err
 	}
-	samples, err := sampler.Sample(f)
+	eng, err := sampling.New(parsed)
 	if err != nil {
 		return err
 	}
-	sampledMean := core.MeanOf(samples)
-	eta := core.Eta(sampledMean, realMean)
-	base, qualified := core.CountKinds(samples)
-	fmt.Printf("technique:     %s\n", sampler.Name())
+	samples, err := sampleWatched(eng, f, *watch)
+	if err != nil {
+		return err
+	}
+	sampledMean := sampling.MeanOf(samples)
+	eta := sampling.Eta(sampledMean, realMean)
+	base, qualified := sampling.CountKinds(samples)
+	fmt.Printf("technique:     %s\n", eng.Technique())
 	fmt.Printf("spec:          %s\n", samplerSpec)
 	fmt.Printf("series:        %d ticks, real mean %.6g\n", len(f), realMean)
 	fmt.Printf("samples:       %d (base %d, qualified %d)\n", len(samples), base, qualified)
 	fmt.Printf("sampled mean:  %.6g\n", sampledMean)
 	fmt.Printf("eta:           %.4f\n", eta)
 	if qualified > 0 {
-		fmt.Printf("overhead:      %.4f\n", core.Overhead(samples))
+		fmt.Printf("overhead:      %.4f\n", sampling.Overhead(samples))
 	}
-	fmt.Printf("efficiency:    %.4f\n", core.Efficiency(eta, len(samples)))
+	fmt.Printf("efficiency:    %.4f\n", sampling.Efficiency(eta, len(samples)))
 	return nil
+}
+
+// sampleWatched runs the engine over the whole series. With every <= 0
+// it is the plain batch run; otherwise it offers ticks one by one and
+// prints a live snapshot to stderr every N ticks, demonstrating
+// mid-stream observation without disturbing the result.
+func sampleWatched(eng *sampling.Engine, f []float64, every int) ([]sampling.Sample, error) {
+	if every <= 0 {
+		return eng.Sample(f)
+	}
+	samples := make([]sampling.Sample, 0, 64)
+	for i, v := range f {
+		if s, ok := eng.Offer(v); ok {
+			samples = append(samples, s)
+		}
+		if (i+1)%every == 0 {
+			sum := eng.Snapshot()
+			fmt.Fprintf(os.Stderr, "samplectl: tick %d: kept %d/%d, mean %.6g, 95%% CI [%.6g, %.6g]\n",
+				i+1, sum.Kept, sum.Seen, sum.Mean, sum.CILow, sum.CIHigh)
+		}
+	}
+	tail, err := eng.Finish()
+	if err != nil {
+		return nil, err
+	}
+	return append(samples, tail...), nil
 }

@@ -63,6 +63,16 @@ func TestRunErrors(t *testing.T) {
 	}
 }
 
+func TestRunWithLiveSnapshots(t *testing.T) {
+	path := writeSeries(t)
+	if err := run([]string{"-spec", "bss:rate=1e-2,L=5,eps=1.1", "-snapshots", "1000", path}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-technique", "simple", "-rate", "1e-2", "-snapshots", "4096", path}); err != nil {
+		t.Fatal(err)
+	}
+}
+
 func TestRunSpec(t *testing.T) {
 	path := writeSeries(t)
 	if err := run([]string{"-spec", "bss:rate=1e-2,L=5,eps=1.1", path}); err != nil {

@@ -2,19 +2,27 @@
 // Analytical Study of Sampling Techniques for Self-Similar Internet
 // Traffic" (He & Hou, ICDCS 2005).
 //
-// The library lives under internal/: the paper's contribution (the three
-// classic sampling techniques, Biased Systematic Sampling, the SNC of
-// Theorem 1, the average-variance theory of Theorem 2 and the full BSS
-// parameter design) is in internal/core, where every technique is a
-// streaming StreamSampler state machine behind a spec-string registry
-// (core.Lookup("bss:rate=1e-3,L=10,eps=1.0")) and the batch Sampler
-// interface is a thin adapter over it; the substrates it stands on —
-// FFT/wavelets (internal/dsp), statistics (internal/stats), heavy-tailed
-// distributions (internal/dist), long-range dependence and Hurst
-// estimation (internal/lrd), traffic models and packet-trace synthesis
-// (internal/traffic), trace I/O (internal/trace) and a concurrent
-// router-monitor pipeline (internal/pipeline) — are each their own
-// package. internal/experiments reproduces every figure of the paper's
+// The supported entry point is the public sampling package (repro/sampling):
+// typed sampler specs (sampling.Parse, Spec.String round-trips), live
+// streaming engines built with functional options
+// (sampling.New(spec, sampling.WithSeed(7), sampling.WithBudget(n))),
+// non-destructive mid-stream observation (Engine.Snapshot), typed errors
+// (ErrUnknownTechnique, *ParamError), the paper's evaluation metrics, the
+// BSS parameter design and the Theorem 1 Hurst-preservation checker.
+//
+// The implementation lives under internal/: the paper's contribution
+// (the three classic sampling techniques, Biased Systematic Sampling,
+// the SNC of Theorem 1, the average-variance theory of Theorem 2 and the
+// full BSS parameter design) is in internal/core, where every technique
+// is a streaming StreamSampler state machine behind a spec-string
+// registry and the batch Sampler interface is a thin adapter over it;
+// the substrates it stands on — FFT/wavelets (internal/dsp), statistics
+// (internal/stats), heavy-tailed distributions (internal/dist),
+// long-range dependence and Hurst estimation (internal/lrd), traffic
+// models and packet-trace synthesis (internal/traffic), trace I/O
+// (internal/trace) and a concurrent router-monitor pipeline with live
+// snapshotting probes (internal/pipeline) — are each their own package.
+// internal/experiments reproduces every figure of the paper's
 // evaluation; cmd/figures regenerates them and bench_test.go benchmarks
 // each one.
 //

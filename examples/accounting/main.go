@@ -12,10 +12,10 @@ import (
 	"log"
 	"math"
 
-	"repro/internal/core"
 	"repro/internal/dist"
 	"repro/internal/stats"
 	"repro/internal/traffic"
+	"repro/sampling"
 )
 
 func main() {
@@ -64,7 +64,7 @@ func main() {
 		ticksF := float64(len(c.f))
 
 		// Systematic billing: typical sampled mean x duration.
-		st, err := core.RunInstances(c.f, trueMean, 21, core.SystematicInstances(interval))
+		st, err := sampling.RunInstances(c.f, trueMean, 21, sampling.SystematicInstances(interval))
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -76,11 +76,11 @@ func main() {
 
 		// BSS billing with the online design: derive L for the measured
 		// typical bias via the paper's Eq. (23), then bill the same way.
-		design, err := core.NewBSSDesign(c.alpha)
+		design, err := sampling.NewBSSDesign(c.alpha)
 		if err != nil {
 			log.Fatal(err)
 		}
-		eta := core.Eta(sysMed, trueMean)
+		eta := sampling.Eta(sysMed, trueMean)
 		if eta < 0.005 {
 			eta = 0.005
 		}
@@ -88,8 +88,8 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		bssCfg := core.BSS{Interval: interval, L: int(lf), Epsilon: 1.0}
-		bst, err := core.RunInstances(c.f, trueMean, 21, core.BSSInstances(bssCfg))
+		bssSpec := sampling.MustParse(fmt.Sprintf("bss:interval=%d,L=%d,eps=1.0", interval, int(lf)))
+		bst, err := sampling.RunInstances(c.f, trueMean, 21, sampling.BSSInstances(bssSpec))
 		if err != nil {
 			log.Fatal(err)
 		}

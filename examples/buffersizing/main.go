@@ -11,12 +11,12 @@ import (
 	"fmt"
 	"log"
 
-	"repro/internal/core"
 	"repro/internal/dist"
 	"repro/internal/lrd"
 	"repro/internal/queue"
 	"repro/internal/stats"
 	"repro/internal/traffic"
+	"repro/sampling"
 )
 
 func main() {
@@ -57,12 +57,15 @@ func main() {
 
 	// The monitor's view: systematic sampling at rate 1e-2 (the sampled
 	// process keeps H per Theorem 1; its mean may under-shoot).
-	s := core.Systematic{Interval: 100, Offset: 13}
-	samples, err := s.Sample(f)
+	eng, err := sampling.New(sampling.MustParse("systematic:interval=100,offset=13"))
 	if err != nil {
 		log.Fatal(err)
 	}
-	g := core.SampledSeries(samples)
+	samples, err := eng.Sample(f)
+	if err != nil {
+		log.Fatal(err)
+	}
+	g := sampling.SampledSeries(samples)
 	hSampled, err := lrd.HurstWavelet(g, lrd.WaveletOptions{JMin: 3})
 	if err != nil {
 		log.Fatal(err)

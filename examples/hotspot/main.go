@@ -2,6 +2,8 @@
 // synthesized OD-flow packet trace with an injected DoS-like burst, and
 // show a threshold alarm probe spotting it from sampled data — the
 // short-term monitoring use case the paper's introduction motivates.
+// While the monitor runs, a watcher goroutine snapshots the BSS probe
+// mid-stream: the pipeline is a live monitor, not a batch job.
 //
 //	go run ./examples/hotspot
 package main
@@ -11,6 +13,7 @@ import (
 	"fmt"
 	"log"
 	"sort"
+	"sync"
 
 	"repro/internal/dist"
 	"repro/internal/pipeline"
@@ -34,13 +37,11 @@ func main() {
 		log.Fatal(err)
 	}
 	// Inject a hot spot: one pair floods for 5 seconds starting at t=60.
-	rng := dist.NewRand(8)
 	for t := 60.0; t < 65; t += 0.0005 {
 		pkts = append(pkts, traffic.Packet{
 			Time: t, Src: 999, Dst: 1000,
 			Size: 1500, // full-size flood packets
 		})
-		_ = rng
 	}
 	sort.Slice(pkts, func(i, j int) bool { return pkts[i].Time < pkts[j].Time })
 
@@ -72,16 +73,46 @@ func main() {
 		log.Fatal(err)
 	}
 
+	// Live observation: snapshot the BSS probe as ticks flow. Snapshot
+	// never finalizes the engine, so watching changes nothing downstream.
 	ticks := make(chan pipeline.Tick, 256)
+	watcher := make(chan struct{})
+	var watch sync.WaitGroup
+	watch.Add(1)
 	go func() {
-		if _, err := pipeline.BinTicks(context.Background(), pkts, granularity, ticks); err != nil {
-			log.Fatal(err)
+		defer watch.Done()
+		seen := 0
+		for range watcher {
+			s := bss.Snapshot()
+			if s.Seen >= seen+600 { // roughly every 30 s of trace time
+				seen = s.Seen
+				fmt.Printf("live: t~%4.0fs  bss kept %4d of %4d ticks, running mean %.3g\n",
+					float64(s.Seen)*granularity, s.Kept, s.Seen, s.Mean)
+			}
 		}
+	}()
+	go func() {
+		defer close(watcher)
+		src := make(chan pipeline.Tick, 256)
+		go func() {
+			if _, err := pipeline.BinTicks(context.Background(), pkts, granularity, src); err != nil {
+				log.Fatal(err)
+			}
+		}()
+		for t := range src {
+			ticks <- t
+			select {
+			case watcher <- struct{}{}:
+			default:
+			}
+		}
+		close(ticks)
 	}()
 	reports, err := mon.Run(context.Background(), ticks)
 	if err != nil {
 		log.Fatal(err)
 	}
+	watch.Wait()
 
 	fmt.Printf("\n%-12s  %8s  %10s  %10s\n", "probe", "kept", "mean", "qualified")
 	for _, r := range reports {

@@ -1,6 +1,6 @@
 // Quickstart: generate a self-similar traffic trace, sample it with the
-// three classic techniques and with BSS, and compare the mean estimates —
-// the paper's core story in ~80 lines.
+// three classic techniques and with BSS through the public sampling API,
+// and compare the mean estimates — the paper's core story in ~80 lines.
 //
 //	go run ./examples/quickstart
 package main
@@ -9,11 +9,11 @@ import (
 	"fmt"
 	"log"
 
-	"repro/internal/core"
 	"repro/internal/dist"
 	"repro/internal/lrd"
 	"repro/internal/stats"
 	"repro/internal/traffic"
+	"repro/sampling"
 )
 
 func main() {
@@ -39,31 +39,40 @@ func main() {
 		fmt.Printf("wavelet Hurst estimate: %.3f (H > 0.5 means LRD)\n", est.H)
 	}
 
-	// 3. Sample at rate 1e-3 with every technique.
+	// 3. Sample at rate 1e-3 with every classic technique. Each run is one
+	// engine built from a typed spec; seeds come in as functional options.
 	const interval = 1000
 	n := len(f) / interval
-	samplers := []core.Sampler{
-		core.Systematic{Interval: interval},
-		core.Stratified{Interval: interval, Rng: dist.NewRand(1)},
-		core.SimpleRandom{N: n, Rng: dist.NewRand(2)},
+	runs := []struct {
+		spec string
+		opts []sampling.Option
+	}{
+		{fmt.Sprintf("systematic:interval=%d", interval), nil},
+		{fmt.Sprintf("stratified:interval=%d", interval), []sampling.Option{sampling.WithSeed(1)}},
+		{fmt.Sprintf("simple:n=%d", n), []sampling.Option{sampling.WithSeed(2)}},
 	}
 	fmt.Printf("\n%-14s  %10s  %8s  %8s\n", "technique", "mean", "eta", "samples")
-	for _, s := range samplers {
-		samples, err := s.Sample(f)
+	for _, r := range runs {
+		eng, err := sampling.New(sampling.MustParse(r.spec), r.opts...)
 		if err != nil {
 			log.Fatal(err)
 		}
-		m := core.MeanOf(samples)
-		fmt.Printf("%-14s  %10.4f  %8.4f  %8d\n", s.Name(), m, core.Eta(m, realMean), len(samples))
+		samples, err := eng.Sample(f)
+		if err != nil {
+			log.Fatal(err)
+		}
+		m := sampling.MeanOf(samples)
+		fmt.Printf("%-14s  %10.4f  %8.4f  %8d\n", eng.Technique(), m, sampling.Eta(m, realMean), len(samples))
 	}
 
 	// 4. BSS: design L for the typical bias via the paper's Eq. (23), then
-	// sample with the adaptive threshold (epsilon = 1).
-	design, err := core.NewBSSDesign(1.5) // marginal tail index
+	// sample with the adaptive threshold (epsilon = 1). The typical bias is
+	// the median over systematic instances at spread offsets.
+	design, err := sampling.NewBSSDesign(1.5) // marginal tail index
 	if err != nil {
 		log.Fatal(err)
 	}
-	st, err := core.RunInstances(f, realMean, 21, core.SystematicInstances(interval))
+	st, err := sampling.RunInstances(f, realMean, 21, sampling.SystematicInstances(interval))
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -71,7 +80,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	eta := core.Eta(medMean, realMean)
+	eta := sampling.Eta(medMean, realMean)
 	if eta < 0.01 {
 		eta = 0.01
 	}
@@ -83,13 +92,16 @@ func main() {
 	if l < 1 {
 		l = 1
 	}
-	bss := core.BSS{Interval: interval, L: l, Epsilon: 1.0}
+	bss, err := sampling.New(sampling.MustParse(fmt.Sprintf("bss:interval=%d,L=%d,eps=1.0", interval, l)))
+	if err != nil {
+		log.Fatal(err)
+	}
 	samples, err := bss.Sample(f)
 	if err != nil {
 		log.Fatal(err)
 	}
-	m := core.MeanOf(samples)
+	m := sampling.MeanOf(samples)
 	fmt.Printf("%-14s  %10.4f  %8.4f  %8d   (L=%d, overhead %.3f)\n",
-		"bss", m, core.Eta(m, realMean), len(samples), bss.L, core.Overhead(samples))
+		"bss", m, sampling.Eta(m, realMean), len(samples), l, sampling.Overhead(samples))
 	fmt.Println("\nBSS recovers the mass that plain sampling misses in the bursts.")
 }

@@ -11,15 +11,14 @@ import (
 	"log"
 	"math"
 
-	"repro/internal/core"
-	"repro/internal/lrd"
+	"repro/sampling"
 )
 
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("snccheck: ")
 
-	acf := lrd.PowerLawACF{Const: 1, Beta: 0.4} // H = 0.8 process
+	acf := sampling.PowerLawACF{Const: 1, Beta: 0.4} // H = 0.8 process
 	taus := make([]int, 0, 12)
 	for tau := 8; tau <= 96; tau += 8 {
 		taus = append(taus, tau)
@@ -28,8 +27,8 @@ func main() {
 	fmt.Printf("original process: R(tau) ~ tau^-%.1f (H = %.2f)\n\n", acf.Beta, acf.Hurst())
 	fmt.Printf("%-24s  %8s  %8s  %s\n", "gap law", "betaHat", "|err|", "preserves H?")
 
-	check := func(name string, p core.IntervalPMF) {
-		res, err := core.CheckSNC(p, acf, taus)
+	check := func(name string, p sampling.IntervalPMF) {
+		res, err := sampling.CheckSNC(p, acf, taus)
 		if err != nil {
 			log.Fatalf("%s: %v", name, err)
 		}
@@ -38,25 +37,25 @@ func main() {
 	}
 
 	// The three classic techniques, via their closed-form gap laws.
-	sys, err := core.SystematicPMF(8)
+	sys, err := sampling.SystematicPMF(8)
 	if err != nil {
 		log.Fatal(err)
 	}
 	check("systematic (C=8)", sys)
-	strat, err := core.StratifiedPMF(8)
+	strat, err := sampling.StratifiedPMF(8)
 	if err != nil {
 		log.Fatal(err)
 	}
 	check("stratified (C=8)", strat)
-	bern, err := core.BernoulliPMF(1.0/8, 1e-12)
+	bern, err := sampling.BernoulliPMF(1.0/8, 1e-12)
 	if err != nil {
 		log.Fatal(err)
 	}
 	check("simple random (r=1/8)", bern)
 
 	// A custom sampler with no closed-form gap law: estimate the law
-	// empirically with GapPMF, then run the same check.
-	empirical, err := core.GapPMF(core.Systematic{Interval: 8}, 100000)
+	// empirically from its spec with GapPMF, then run the same check.
+	empirical, err := sampling.GapPMF(sampling.MustParse("systematic:interval=8"), 100000)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -77,7 +76,7 @@ func main() {
 }
 
 // heavyGapPMF builds Pr(T = k) proportional to k^-(alpha+1) on 1..maxGap.
-func heavyGapPMF(alpha float64, maxGap int) core.IntervalPMF {
+func heavyGapPMF(alpha float64, maxGap int) sampling.IntervalPMF {
 	p := make([]float64, maxGap+1)
 	var sum float64
 	for k := 1; k <= maxGap; k++ {
@@ -87,5 +86,5 @@ func heavyGapPMF(alpha float64, maxGap int) core.IntervalPMF {
 	for k := 1; k <= maxGap; k++ {
 		p[k] /= sum
 	}
-	return core.IntervalPMF{P: p}
+	return sampling.IntervalPMF{P: p}
 }

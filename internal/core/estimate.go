@@ -129,14 +129,14 @@ func RunInstances(f []float64, realMean float64, n int, factory func(instance in
 // instances at once.
 func SystematicInstances(interval int) func(int) (Sampler, error) {
 	return func(i int) (Sampler, error) {
-		return NewSystematic(interval, spreadOffset(i, interval))
+		return NewSystematic(interval, SpreadOffset(i, interval))
 	}
 }
 
-// spreadOffset maps instance i to an offset in [0, interval) using a
+// SpreadOffset maps instance i to an offset in [0, interval) using a
 // golden-ratio low-discrepancy sequence, so any number of instances
 // covers the interval roughly uniformly without collisions.
-func spreadOffset(i, interval int) int {
+func SpreadOffset(i, interval int) int {
 	const golden = 0.6180339887498949
 	off := int(math.Mod(float64(i)*golden, 1) * float64(interval))
 	if off >= interval {
@@ -166,7 +166,7 @@ func SimpleRandomInstances(n int, baseSeed uint64) func(int) (Sampler, error) {
 func BSSInstances(cfg BSS) func(int) (Sampler, error) {
 	return func(i int) (Sampler, error) {
 		c := cfg
-		c.Offset = spreadOffset(i, cfg.Interval)
+		c.Offset = SpreadOffset(i, cfg.Interval)
 		if err := c.validate(); err != nil {
 			return nil, err
 		}

@@ -75,7 +75,7 @@ func TestRunInstancesSystematic(t *testing.T) {
 	// realMean + (o_i - 4.5); verify against the spread-offset schedule.
 	var wantGrand, wantVar float64
 	for i := 0; i < n; i++ {
-		o := float64(spreadOffset(i, 10))
+		o := float64(SpreadOffset(i, 10))
 		wantGrand += (realMean + o - 4.5) / n
 		wantVar += (o - 4.5) * (o - 4.5) / n
 	}
@@ -98,7 +98,7 @@ func TestSpreadOffsetCoverage(t *testing.T) {
 	const interval = 100
 	seen := make(map[int]bool)
 	for i := 0; i < 200; i++ {
-		o := spreadOffset(i, interval)
+		o := SpreadOffset(i, interval)
 		if o < 0 || o >= interval {
 			t.Fatalf("offset %d out of range", o)
 		}
@@ -177,7 +177,7 @@ func TestBSSInstancesFactory(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if s0.(BSS).Offset != spreadOffset(0, 10) || s1.(BSS).Offset != spreadOffset(1, 10) {
+	if s0.(BSS).Offset != SpreadOffset(0, 10) || s1.(BSS).Offset != SpreadOffset(1, 10) {
 		t.Errorf("offsets = %d, %d; want spread schedule", s0.(BSS).Offset, s1.(BSS).Offset)
 	}
 	bad := BSSInstances(BSS{Interval: 10, L: -2, Epsilon: 1})

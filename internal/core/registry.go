@@ -1,6 +1,7 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 	"strconv"
@@ -35,7 +36,7 @@ func (p *Params) Float(key string, def float64) (float64, error) {
 	}
 	v, err := strconv.ParseFloat(s, 64)
 	if err != nil {
-		return 0, fmt.Errorf("core: parameter %s=%q is not a number", key, s)
+		return 0, &ParamError{Param: key, Value: s, Reason: "not a number"}
 	}
 	return v, nil
 }
@@ -48,7 +49,7 @@ func (p *Params) Int(key string, def int) (int, error) {
 	}
 	v, err := strconv.Atoi(s)
 	if err != nil {
-		return 0, fmt.Errorf("core: parameter %s=%q is not an integer", key, s)
+		return 0, &ParamError{Param: key, Value: s, Reason: "not an integer"}
 	}
 	return v, nil
 }
@@ -61,7 +62,7 @@ func (p *Params) Uint(key string, def uint64) (uint64, error) {
 	}
 	v, err := strconv.ParseUint(s, 10, 64)
 	if err != nil {
-		return 0, fmt.Errorf("core: parameter %s=%q is not an unsigned integer", key, s)
+		return 0, &ParamError{Param: key, Value: s, Reason: "not an unsigned integer"}
 	}
 	return v, nil
 }
@@ -82,6 +83,17 @@ func (p *Params) take(key string) (string, bool) {
 	return s, ok
 }
 
+// Map returns a copy of the raw key=value parameters, independent of the
+// consumption tracking. The public sampling package uses it to build its
+// typed Spec.
+func (p *Params) Map() map[string]string {
+	out := make(map[string]string, len(p.raw))
+	for k, v := range p.raw {
+		out[k] = v
+	}
+	return out
+}
+
 func (p *Params) unused() []string {
 	var out []string
 	for k := range p.raw {
@@ -94,11 +106,12 @@ func (p *Params) unused() []string {
 }
 
 // ParseSpec splits a spec string into its technique name and parameters.
+// Syntax errors wrap ErrBadSpec.
 func ParseSpec(spec string) (string, *Params, error) {
 	name, rest, hasParams := strings.Cut(spec, ":")
 	name = strings.TrimSpace(name)
 	if name == "" {
-		return "", nil, fmt.Errorf("core: empty sampler spec %q", spec)
+		return "", nil, fmt.Errorf("core: empty sampler spec %q: %w", spec, ErrBadSpec)
 	}
 	p := &Params{raw: make(map[string]string), used: make(map[string]bool)}
 	if hasParams && strings.TrimSpace(rest) != "" {
@@ -106,10 +119,10 @@ func ParseSpec(spec string) (string, *Params, error) {
 			k, v, ok := strings.Cut(kv, "=")
 			k, v = strings.TrimSpace(k), strings.TrimSpace(v)
 			if !ok || k == "" || v == "" {
-				return "", nil, fmt.Errorf("core: spec parameter %q must be key=value", kv)
+				return "", nil, fmt.Errorf("core: spec parameter %q must be key=value: %w", kv, ErrBadSpec)
 			}
 			if _, dup := p.raw[k]; dup {
-				return "", nil, fmt.Errorf("core: duplicate spec parameter %q", k)
+				return "", nil, fmt.Errorf("core: duplicate spec parameter %q: %w", k, ErrBadSpec)
 			}
 			p.raw[k] = v
 		}
@@ -160,24 +173,58 @@ func mustRegister(name string, f Factory) {
 
 // Lookup builds a sampler from a spec string like
 // "bss:rate=1e-3,L=10,eps=1.0". Every registered technique name is valid;
-// see Names.
+// see Names. Failures are typed: syntax errors wrap ErrBadSpec,
+// unregistered names wrap ErrUnknownTechnique, and rejected parameters
+// surface as a *ParamError in the chain.
 func Lookup(spec string) (Sampler, error) {
 	name, p, err := ParseSpec(spec)
 	if err != nil {
 		return nil, err
 	}
+	return build(name, p)
+}
+
+// Build builds a sampler from a technique name and raw key=value
+// parameters — the typed counterpart of Lookup, for callers that already
+// hold structured parameters and should not round-trip them through the
+// string syntax. Failure modes match Lookup's.
+func Build(name string, kv map[string]string) (Sampler, error) {
+	if strings.TrimSpace(name) == "" {
+		return nil, fmt.Errorf("core: empty sampler technique name: %w", ErrBadSpec)
+	}
+	return build(name, NewParams(kv))
+}
+
+// NewParams wraps a raw key=value map for factory consumption, copying
+// it so the caller's map is never mutated or retained.
+func NewParams(kv map[string]string) *Params {
+	p := &Params{raw: make(map[string]string, len(kv)), used: make(map[string]bool)}
+	for k, v := range kv {
+		p.raw[k] = v
+	}
+	return p
+}
+
+// build resolves the factory and runs it, enforcing full parameter
+// consumption — the shared tail of Lookup and Build.
+func build(name string, p *Params) (Sampler, error) {
 	registry.RLock()
 	f := registry.m[name]
 	registry.RUnlock()
 	if f == nil {
-		return nil, fmt.Errorf("core: unknown sampler %q (registered: %s)", name, strings.Join(Names(), ", "))
+		return nil, fmt.Errorf("core: unknown sampler %q (registered: %s): %w",
+			name, strings.Join(Names(), ", "), ErrUnknownTechnique)
 	}
 	s, err := f(p)
 	if err != nil {
+		var pe *ParamError
+		if errors.As(err, &pe) && pe.Technique == "" {
+			pe.Technique = name
+		}
 		return nil, fmt.Errorf("core: building %q: %w", name, err)
 	}
 	if u := p.unused(); len(u) > 0 {
-		return nil, fmt.Errorf("core: sampler %q does not accept parameter(s) %s", name, strings.Join(u, ", "))
+		return nil, &ParamError{Technique: name, Param: strings.Join(u, ", "), Reason: "not accepted by this technique"}
 	}
 	return s, nil
 }
@@ -188,6 +235,20 @@ func LookupStream(spec string) (StreamSampler, error) {
 	if err != nil {
 		return nil, err
 	}
+	return streamerOf(s)
+}
+
+// BuildStream builds the streaming engine from a technique name and raw
+// parameters, the typed counterpart of LookupStream.
+func BuildStream(name string, kv map[string]string) (StreamSampler, error) {
+	s, err := Build(name, kv)
+	if err != nil {
+		return nil, err
+	}
+	return streamerOf(s)
+}
+
+func streamerOf(s Sampler) (StreamSampler, error) {
 	c, ok := s.(Streamer)
 	if !ok {
 		return nil, fmt.Errorf("core: sampler %q has no streaming form", s.Name())
@@ -223,9 +284,13 @@ func specInterval(p *Params) (int, error) {
 		return interval, nil
 	}
 	if rate == 0 {
-		return 0, fmt.Errorf("core: spec needs interval=N or rate=R")
+		return 0, &ParamError{Param: "interval", Reason: "spec needs interval=N or rate=R"}
 	}
-	return IntervalForRate(rate)
+	iv, err := IntervalForRate(rate)
+	if err != nil {
+		return 0, &ParamError{Param: "rate", Value: strconv.FormatFloat(rate, 'g', -1, 64), Reason: "outside (0,1]"}
+	}
+	return iv, nil
 }
 
 func init() {

@@ -39,8 +39,8 @@ type Renderer interface {
 type Runner func(Scale) (Renderer, error)
 
 // registry maps figure identifiers ("fig02" ... "fig22") to their
-// runners. It is built once at package init and never mutated; Registry
-// hands it out read-only instead of rebuilding the map per call.
+// runners. It is built once at package init and never mutated; Lookup
+// reads it directly and Registry hands out per-call copies.
 var registry = map[string]Runner{
 	"fig02": func(s Scale) (Renderer, error) { return Fig02(s) },
 	"fig03": func(s Scale) (Renderer, error) { return Fig03(s) },
@@ -81,9 +81,10 @@ func Lookup(id string) (Runner, bool) {
 	return r, ok
 }
 
-// Registry returns a copy of the figure registry, so callers can iterate
-// or mutate freely without corrupting the shared map the parallel figure
-// runner reads. Use Lookup for single-figure access.
+// Registry returns a fresh copy of the figure registry, rebuilt on every
+// call, so callers can iterate or mutate their copy freely without
+// corrupting the shared map the parallel figure runner reads. Use Lookup
+// for single-figure access when the copy is not needed.
 func Registry() map[string]Runner {
 	out := make(map[string]Runner, len(registry))
 	for id, r := range registry {
@@ -95,8 +96,9 @@ func Registry() map[string]Runner {
 // Names returns the sorted figure identifiers.
 func Names() []string { return append([]string(nil), figureIDs...) }
 
-// FigureIDs returns the registry keys in order (an alias of Names kept
-// for existing callers).
+// FigureIDs returns the sorted figure identifiers.
+//
+// Deprecated: FigureIDs is a legacy alias of Names; use Names.
 func FigureIDs() []string { return Names() }
 
 // table is a small text-table builder used by every Render method.

@@ -7,7 +7,7 @@ import (
 )
 
 func TestRegistryComplete(t *testing.T) {
-	ids := FigureIDs()
+	ids := Names()
 	if len(ids) != 21 {
 		t.Fatalf("registry has %d figures, want 21 (fig02..fig22)", len(ids))
 	}
@@ -18,6 +18,31 @@ func TestRegistryComplete(t *testing.T) {
 	for _, id := range ids {
 		if reg[id] == nil {
 			t.Errorf("nil runner for %s", id)
+		}
+	}
+}
+
+func TestRegistryReturnsIndependentCopies(t *testing.T) {
+	a := Registry()
+	delete(a, "fig02")
+	a["made-up"] = nil
+	b := Registry()
+	if b["fig02"] == nil {
+		t.Error("mutating one Registry() copy leaked into the next")
+	}
+	if _, ok := b["made-up"]; ok {
+		t.Error("added key leaked into the shared registry")
+	}
+}
+
+func TestFigureIDsAliasesNames(t *testing.T) {
+	a, b := FigureIDs(), Names()
+	if len(a) != len(b) {
+		t.Fatalf("FigureIDs has %d ids, Names %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Errorf("id %d: FigureIDs %q vs Names %q", i, a[i], b[i])
 		}
 	}
 }

@@ -6,17 +6,23 @@
 // backpressure (blocking channels) and context-based shutdown.
 //
 // The package holds no per-technique sampling code: every probe wraps a
-// core.StreamSampler, built directly or from a registry spec string like
-// "bss:rate=1e-3,L=10,eps=1.0" (see SamplerProbe and NewSpecProbe).
+// live engine from the public sampling package, built from a spec string
+// like "bss:rate=1e-3,L=10,eps=1.0" (see SamplerProbe and NewSpecProbe).
+//
+// Probes are live monitors, not batch runs: Snapshot returns the running
+// estimate at any moment, from any goroutine, without finalizing the
+// engine. Finish (called by Monitor.Run when the tick stream ends)
+// flushes end-of-stream samples; Report never finalizes anything.
 package pipeline
 
 import (
 	"context"
 	"fmt"
+	"strconv"
 	"sync"
 
-	"repro/internal/core"
 	"repro/internal/traffic"
+	"repro/sampling"
 )
 
 // Tick is one bin of the rate process.
@@ -25,31 +31,45 @@ type Tick struct {
 	Value float64 // rate in bytes/second over the bin
 }
 
-// Probe consumes ticks and accumulates an estimate. Implementations must
-// be safe for use from the single goroutine the pipeline assigns them.
+// Probe consumes ticks and accumulates an estimate. Offer and Finish
+// must be driven from a single goroutine (the one the pipeline assigns);
+// Snapshot and Report are safe to call concurrently from any goroutine.
 type Probe interface {
 	// Name identifies the probe in reports.
 	Name() string
 	// Offer presents one tick.
 	Offer(t Tick)
-	// Report returns the probe's current estimate summary.
+	// Snapshot returns the probe's running estimate without finalizing
+	// anything — callable mid-stream, concurrently with Offer.
+	Snapshot() ProbeReport
+	// Finish declares the end of the tick stream, flushing samples only
+	// decidable then (e.g. a simple-random draw). Idempotent.
+	Finish()
+	// Report returns the probe's current estimate summary. Unlike the
+	// pre-v1 API it never finalizes the engine: before Finish it equals
+	// Snapshot, after Finish it is the final report.
 	Report() ProbeReport
 }
 
-// ProbeReport summarizes what a probe has measured.
+// ProbeReport summarizes what a probe has measured so far.
 type ProbeReport struct {
 	Name      string
 	Kept      int     // samples retained
 	Seen      int     // ticks observed
-	Mean      float64 // estimated mean of f(t)
-	Qualified int     // BSS qualified samples (0 for classic probes)
-	Err       error   // deferred engine error (e.g. simple random over a too-short stream)
+	Mean      float64 // estimated mean of f(t) (0 when nothing kept)
+	CILow     float64 // 95% confidence interval for Mean (NaN below 2 samples)
+	CIHigh    float64
+	Qualified int   // BSS qualified samples (0 for classic probes)
+	Finished  bool  // the probe's engine has been finalized
+	Err       error // deferred engine error (e.g. simple random over a too-short stream)
 }
 
 // BinTicks converts a time-sorted packet stream into ticks of the given
 // granularity, sending them to out until the packets are exhausted or ctx
 // is cancelled. It closes out when done and returns the number of ticks
-// emitted.
+// emitted. Bins before the first packet (and any interior gaps) are
+// emitted as zero-rate ticks, so downstream indices always start at 0
+// and advance by one.
 func BinTicks(ctx context.Context, pkts []traffic.Packet, granularity float64, out chan<- Tick) (int, error) {
 	defer close(out)
 	if granularity <= 0 {
@@ -59,7 +79,6 @@ func BinTicks(ctx context.Context, pkts []traffic.Packet, granularity float64, o
 		return 0, fmt.Errorf("pipeline: empty packet stream")
 	}
 	emitted := 0
-	idx := 0
 	var acc float64
 	cur := 0
 	flush := func(binIdx int) error {
@@ -81,7 +100,6 @@ func BinTicks(ctx context.Context, pkts []traffic.Packet, granularity float64, o
 			cur++
 		}
 		acc += float64(p.Size)
-		idx++
 	}
 	if err := flush(cur); err != nil {
 		return emitted, err
@@ -114,8 +132,17 @@ func NewMonitor(probes ...Probe) (*Monitor, error) {
 	return &Monitor{probes: probes}, nil
 }
 
+// Probes returns the monitored probes in report order, for live
+// observation (Snapshot) while Run is in flight.
+func (m *Monitor) Probes() []Probe {
+	out := make([]Probe, len(m.probes))
+	copy(out, m.probes)
+	return out
+}
+
 // Run consumes ticks from in until it closes (or ctx cancels), feeding
-// every probe, and returns the final reports in probe order.
+// every probe, then finalizes each probe and returns the final reports
+// in probe order.
 func (m *Monitor) Run(ctx context.Context, in <-chan Tick) ([]ProbeReport, error) {
 	feeds := make([]chan Tick, len(m.probes))
 	var wg sync.WaitGroup
@@ -127,6 +154,7 @@ func (m *Monitor) Run(ctx context.Context, in <-chan Tick) ([]ProbeReport, error
 			for t := range feed {
 				p.Offer(t)
 			}
+			p.Finish()
 		}(p, feeds[i])
 	}
 	var runErr error
@@ -161,40 +189,38 @@ fanout:
 	return reports, runErr
 }
 
-// SamplerProbe adapts any core.StreamSampler into a pipeline probe,
-// tracking the kept/qualified counts and running mean the reports need.
-// It is the only sampling probe in the package: which technique runs is
-// decided by the engine (or spec) it wraps, not by probe code.
+// SamplerProbe adapts a live sampling.Engine into a pipeline probe. It is
+// the only sampling probe in the package: which technique runs is decided
+// by the engine (or spec) it wraps, not by probe code.
 type SamplerProbe struct {
-	name      string
-	eng       core.StreamSampler
-	seen      int
-	kept      int
-	qualified int
-	sum       float64
-	finished  bool
-	finishErr error
+	name string
+	eng  *sampling.Engine
 }
 
-// NewSamplerProbe wraps an already-built streaming engine.
-func NewSamplerProbe(name string, eng core.StreamSampler) (*SamplerProbe, error) {
+// NewSamplerProbe wraps an already-built engine.
+func NewSamplerProbe(name string, eng *sampling.Engine) (*SamplerProbe, error) {
 	if eng == nil {
 		return nil, fmt.Errorf("pipeline: nil sampling engine")
 	}
 	if name == "" {
-		name = eng.Name()
+		name = eng.Technique()
 	}
 	return &SamplerProbe{name: name, eng: eng}, nil
 }
 
-// NewSpecProbe builds the probe's engine from a sampler registry spec
-// string such as "systematic:interval=10" or "bss:rate=1e-3,L=10".
+// NewSpecProbe builds the probe's engine from a sampler spec string such
+// as "systematic:interval=10" or "bss:rate=1e-3,L=10", optionally
+// configured with engine options (sampling.WithSeed, WithBudget, ...).
 //
 // One caveat for long-running monitors: simple random sampling is
 // inherently offline, so a "simple"/"simple-random" engine buffers every
-// tick until Report — O(stream) memory, unlike the O(1) techniques.
-func NewSpecProbe(name, spec string) (*SamplerProbe, error) {
-	eng, err := core.LookupStream(spec)
+// tick until Finish — O(stream) memory, unlike the O(1) techniques.
+func NewSpecProbe(name, spec string, opts ...sampling.Option) (*SamplerProbe, error) {
+	parsed, err := sampling.Parse(spec)
+	if err != nil {
+		return nil, fmt.Errorf("pipeline: building probe from spec %q: %w", spec, err)
+	}
+	eng, err := sampling.New(parsed, opts...)
 	if err != nil {
 		return nil, fmt.Errorf("pipeline: building probe from spec %q: %w", spec, err)
 	}
@@ -204,36 +230,41 @@ func NewSpecProbe(name, spec string) (*SamplerProbe, error) {
 // Name implements Probe.
 func (p *SamplerProbe) Name() string { return p.name }
 
-// Offer implements Probe.
-func (p *SamplerProbe) Offer(t Tick) {
-	p.seen++
-	if smp, ok := p.eng.Offer(t.Index, t.Value); ok {
-		p.record(smp)
-	}
+// Engine exposes the probe's live engine for direct observation.
+func (p *SamplerProbe) Engine() *sampling.Engine { return p.eng }
+
+// Offer implements Probe. Tick values are offered in arrival order; the
+// engine assigns consecutive indices, matching BinTicks' gap-free bins.
+func (p *SamplerProbe) Offer(t Tick) { p.eng.Offer(t.Value) }
+
+// Snapshot implements Probe.
+func (p *SamplerProbe) Snapshot() ProbeReport {
+	return reportFrom(p.name, p.eng.Snapshot())
 }
 
-func (p *SamplerProbe) record(s core.Sample) {
-	p.kept++
-	p.sum += s.Value
-	if s.Qualified {
-		p.qualified++
-	}
-}
+// Finish implements Probe.
+func (p *SamplerProbe) Finish() { p.eng.Finish() }
 
-// Report implements Probe. The first call finalizes the engine, flushing
-// samples only decidable at end of stream (e.g. a simple-random draw).
-func (p *SamplerProbe) Report() ProbeReport {
-	if !p.finished {
-		p.finished = true
-		tail, err := p.eng.Finish()
-		p.finishErr = err
-		for _, s := range tail {
-			p.record(s)
-		}
+// Report implements Probe. It never finalizes the engine — Monitor.Run
+// (or an explicit Finish) does that when the stream ends — so calling it
+// mid-stream is a harmless observation.
+func (p *SamplerProbe) Report() ProbeReport { return p.Snapshot() }
+
+// reportFrom converts an engine summary into a probe report, preserving
+// the report convention that Mean is 0 (not NaN) when nothing was kept.
+func reportFrom(name string, s sampling.Summary) ProbeReport {
+	r := ProbeReport{
+		Name:      name,
+		Kept:      s.Kept,
+		Seen:      s.Seen,
+		CILow:     s.CILow,
+		CIHigh:    s.CIHigh,
+		Qualified: s.Qualified,
+		Finished:  s.Finished,
+		Err:       s.Err,
 	}
-	r := ProbeReport{Name: p.name, Kept: p.kept, Seen: p.seen, Qualified: p.qualified, Err: p.finishErr}
-	if p.kept > 0 {
-		r.Mean = p.sum / float64(p.kept)
+	if s.Kept > 0 {
+		r.Mean = s.Mean
 	}
 	return r
 }
@@ -241,16 +272,15 @@ func (p *SamplerProbe) Report() ProbeReport {
 // ThresholdAlarmProbe raises a flag when the running short-window mean
 // exceeds level — the hot-spot / DoS detection use case the paper's
 // introduction motivates. Tick selection is delegated to a systematic
-// StreamSampler so the alarm's cost stays bounded.
+// sampling engine so the alarm's cost stays bounded.
 type ThresholdAlarmProbe struct {
-	name     string
-	selector core.StreamSampler
-	level    float64
-	window   []float64
-	seen     int
-	alarms   []int // tick indices where the alarm fired
-	sum      float64
-	kept     int
+	name string
+	eng  *sampling.Engine
+
+	mu     sync.Mutex
+	level  float64
+	window []float64
+	alarms []int // tick indices where the alarm fired
 }
 
 // NewThresholdAlarmProbe builds an alarm probe sampling every interval
@@ -259,14 +289,17 @@ func NewThresholdAlarmProbe(name string, interval, window int, level float64) (*
 	if interval < 1 || window < 1 {
 		return nil, fmt.Errorf("pipeline: alarm probe needs interval >= 1 and window >= 1 (got %d, %d)", interval, window)
 	}
-	selector, err := (core.Systematic{Interval: interval}).Stream()
+	eng, err := sampling.New(sampling.Spec{
+		Technique: "systematic",
+		Params:    map[string]string{"interval": strconv.Itoa(interval)},
+	})
 	if err != nil {
 		return nil, fmt.Errorf("pipeline: alarm probe selector: %w", err)
 	}
 	if name == "" {
 		name = "alarm"
 	}
-	return &ThresholdAlarmProbe{name: name, selector: selector, level: level, window: make([]float64, 0, window)}, nil
+	return &ThresholdAlarmProbe{name: name, eng: eng, level: level, window: make([]float64, 0, window)}, nil
 }
 
 // Name implements Probe.
@@ -274,13 +307,12 @@ func (p *ThresholdAlarmProbe) Name() string { return p.name }
 
 // Offer implements Probe.
 func (p *ThresholdAlarmProbe) Offer(t Tick) {
-	p.seen++
-	smp, ok := p.selector.Offer(t.Index, t.Value)
+	smp, ok := p.eng.Offer(t.Value)
 	if !ok {
 		return
 	}
-	p.kept++
-	p.sum += smp.Value
+	p.mu.Lock()
+	defer p.mu.Unlock()
 	if len(p.window) == cap(p.window) {
 		copy(p.window, p.window[1:])
 		p.window = p.window[:len(p.window)-1]
@@ -298,21 +330,25 @@ func (p *ThresholdAlarmProbe) Offer(t Tick) {
 }
 
 // Alarms returns the tick indices at which the rolling mean exceeded the
-// level.
+// level. Safe to call while ticks flow.
 func (p *ThresholdAlarmProbe) Alarms() []int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
 	out := make([]int, len(p.alarms))
 	copy(out, p.alarms)
 	return out
 }
 
-// Report implements Probe.
-func (p *ThresholdAlarmProbe) Report() ProbeReport {
-	r := ProbeReport{Name: p.name, Kept: p.kept, Seen: p.seen}
-	if p.kept > 0 {
-		r.Mean = p.sum / float64(p.kept)
-	}
-	return r
+// Snapshot implements Probe.
+func (p *ThresholdAlarmProbe) Snapshot() ProbeReport {
+	return reportFrom(p.name, p.eng.Snapshot())
 }
+
+// Finish implements Probe.
+func (p *ThresholdAlarmProbe) Finish() { p.eng.Finish() }
+
+// Report implements Probe; like Snapshot it never finalizes the selector.
+func (p *ThresholdAlarmProbe) Report() ProbeReport { return p.Snapshot() }
 
 // Interface compliance checks.
 var (

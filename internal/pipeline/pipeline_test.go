@@ -6,11 +6,11 @@ import (
 	"testing"
 	"time"
 
-	"repro/internal/core"
 	"repro/internal/dist"
 	"repro/internal/lrd"
 	"repro/internal/stats"
 	"repro/internal/traffic"
+	"repro/sampling"
 )
 
 func testPackets(t *testing.T) []traffic.Packet {
@@ -274,11 +274,11 @@ func TestProbesMatchBatchOnFGN(t *testing.T) {
 		t.Fatal(err)
 	}
 	for i, spec := range specs {
-		sampler, err := core.Lookup(spec)
+		eng, err := sampling.New(sampling.MustParse(spec))
 		if err != nil {
 			t.Fatal(err)
 		}
-		batch, err := sampler.Sample(f)
+		batch, err := eng.Sample(f)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -286,18 +286,135 @@ func TestProbesMatchBatchOnFGN(t *testing.T) {
 		if r.Err != nil {
 			t.Fatalf("%s: %v", spec, r.Err)
 		}
+		if !r.Finished {
+			t.Errorf("%s: final report not marked finished", spec)
+		}
 		if r.Seen != len(f) {
 			t.Errorf("%s: saw %d ticks, want %d", spec, r.Seen, len(f))
 		}
 		if r.Kept != len(batch) {
 			t.Errorf("%s: probe kept %d, batch kept %d", spec, r.Kept, len(batch))
 		}
-		_, qualified := core.CountKinds(batch)
+		_, qualified := sampling.CountKinds(batch)
 		if r.Qualified != qualified {
 			t.Errorf("%s: probe qualified %d, batch %d", spec, r.Qualified, qualified)
 		}
-		if math.Abs(r.Mean-core.MeanOf(batch)) > 1e-9 {
-			t.Errorf("%s: probe mean %g vs batch %g", spec, r.Mean, core.MeanOf(batch))
+		if math.Abs(r.Mean-sampling.MeanOf(batch)) > 1e-9 {
+			t.Errorf("%s: probe mean %g vs batch %g", spec, r.Mean, sampling.MeanOf(batch))
 		}
+	}
+}
+
+// TestBinTicksLeadingGap covers the leading-gap case: when the first
+// packet lands in bin > 0, every earlier bin must still be emitted as a
+// zero-rate tick with consecutive indices from 0.
+func TestBinTicksLeadingGap(t *testing.T) {
+	pkts := []traffic.Packet{
+		{Time: 0.35, Size: 100}, // first packet in bin 3 at granularity 0.1
+		{Time: 0.47, Size: 200},
+	}
+	ch := make(chan Tick, 16)
+	var got []Tick
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for tk := range ch {
+			got = append(got, tk)
+		}
+	}()
+	n, err := BinTicks(context.Background(), pkts, 0.1, ch)
+	<-done
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 5 || len(got) != 5 {
+		t.Fatalf("emitted %d ticks (received %d), want 5 (bins 0..4)", n, len(got))
+	}
+	for i, tk := range got {
+		if tk.Index != i {
+			t.Errorf("tick %d has index %d, want consecutive from 0", i, tk.Index)
+		}
+	}
+	for i := 0; i < 3; i++ {
+		if got[i].Value != 0 {
+			t.Errorf("leading-gap bin %d has rate %g, want 0", i, got[i].Value)
+		}
+	}
+	if math.Abs(got[3].Value-100/0.1) > 1e-9 || math.Abs(got[4].Value-200/0.1) > 1e-9 {
+		t.Errorf("packet bins = %g, %g; want 1000, 2000", got[3].Value, got[4].Value)
+	}
+}
+
+// TestReportDoesNotFinalize is the redesign's core behavioral change: a
+// mid-stream Report observes without ending the engine, so an offline
+// technique (simple random) can keep deferring its draw.
+func TestReportDoesNotFinalize(t *testing.T) {
+	p := specProbe(t, "", "simple:n=10,seed=3")
+	for i := 0; i < 100; i++ {
+		p.Offer(Tick{Index: i, Value: float64(i)})
+	}
+	mid := p.Report()
+	if mid.Finished {
+		t.Fatal("mid-stream Report finalized the engine")
+	}
+	if mid.Kept != 0 {
+		t.Errorf("simple random kept %d mid-stream, want 0 (draw deferred to Finish)", mid.Kept)
+	}
+	if mid.Seen != 100 {
+		t.Errorf("mid-stream report saw %d, want 100", mid.Seen)
+	}
+	// The stream continues after the observation...
+	for i := 100; i < 200; i++ {
+		p.Offer(Tick{Index: i, Value: float64(i)})
+	}
+	p.Finish()
+	final := p.Report()
+	if !final.Finished || final.Kept != 10 || final.Seen != 200 {
+		t.Errorf("final report %+v, want finished with 10 kept of 200 seen", final)
+	}
+	// ...and Finish is idempotent.
+	p.Finish()
+	if again := p.Report(); again.Kept != final.Kept || again.Seen != final.Seen {
+		t.Errorf("report changed across repeated Finish: %+v vs %+v", again, final)
+	}
+}
+
+// TestSnapshotWhileMonitorRuns observes a probe concurrently with the
+// monitor's fan-out (run under -race) and checks snapshots stay
+// monotonically consistent mid-stream.
+func TestSnapshotWhileMonitorRuns(t *testing.T) {
+	f := fgnTrace(t, 1<<13)
+	probe := specProbe(t, "", "bss:interval=16,L=4,eps=1.1")
+	mon, err := NewMonitor(probe)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ch := make(chan Tick, 64)
+	go func() {
+		for i, v := range f {
+			ch <- Tick{Index: i, Value: v}
+		}
+		close(ch)
+	}()
+	watched := make(chan struct{})
+	go func() {
+		defer close(watched)
+		var prev ProbeReport
+		for i := 0; i < 1000; i++ {
+			s := probe.Snapshot()
+			if s.Seen < prev.Seen || s.Kept < prev.Kept {
+				t.Errorf("snapshot went backwards: %+v after %+v", s, prev)
+				return
+			}
+			prev = s
+		}
+	}()
+	reports, err := mon.Run(context.Background(), ch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-watched
+	if reports[0].Seen != len(f) {
+		t.Errorf("final report saw %d, want %d", reports[0].Seen, len(f))
 	}
 }

@@ -1,0 +1,19 @@
+package sampling
+
+import "repro/internal/core"
+
+// BSSDesign is the paper's BSS parameter theory (Section V): the
+// relationships between the tail index alpha, the threshold multiplier
+// epsilon, the extra-sample count L, the bias ratio xi and the overhead,
+// with solvers for each direction (LUnbiased, EpsForTarget,
+// OptimalDesign, DesignForRate, ...).
+type BSSDesign = core.BSSDesign
+
+// NewBSSDesign validates the traffic tail index alpha and returns the
+// design calculator for it.
+func NewBSSDesign(alpha float64) (BSSDesign, error) { return core.NewBSSDesign(alpha) }
+
+// EtaFromRate is the paper's eta(r) convergence law (Eq. 35): the
+// typical systematic-sampling bias at rate r for tail index alpha and
+// fitted constant cs.
+func EtaFromRate(rate, alpha, cs float64) float64 { return core.EtaFromRate(rate, alpha, cs) }

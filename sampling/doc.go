@@ -1,0 +1,58 @@
+// Package sampling is the public, versioned API (v1) of the traffic
+// sampling library: typed sampler specs, functional options, live
+// streaming engines with non-destructive snapshots, and the paper's
+// evaluation metrics. internal/core holds the implementation this
+// package wraps; everything a consumer needs is exported here.
+//
+// # Specs
+//
+// A sampler is described by a Spec — a technique name plus key=value
+// parameters — parsed once from the compact string syntax and
+// round-trippable through Spec.String:
+//
+//	spec, err := sampling.Parse("bss:rate=1e-3,L=10,eps=1.0")
+//	spec.String() // "bss:L=10,eps=1.0,rate=1e-3" (canonical key order)
+//
+// Failures are typed: errors.Is(err, sampling.ErrUnknownTechnique) for
+// unregistered names, errors.Is(err, sampling.ErrBadSpec) for syntax
+// errors, and errors.As(err, &pe) with pe a *sampling.ParamError for
+// rejected parameters.
+//
+// # Engines
+//
+// New builds a live streaming engine from a spec, configured with
+// functional options:
+//
+//	eng, err := sampling.New(spec, sampling.WithSeed(7), sampling.WithBudget(10_000))
+//	for _, v := range ticks {
+//	    if s, kept := eng.Offer(v); kept {
+//	        // s.Index, s.Value, s.Qualified
+//	    }
+//	}
+//	tail, err := eng.Finish() // samples only decidable at end of stream
+//
+// The engine is safe for concurrent observation: Snapshot returns the
+// running kept/seen counts, mean and 95% confidence interval at any
+// point mid-stream, from any goroutine, without finalizing anything —
+// the primitive that turns a batch sampler into a live monitor:
+//
+//	go func() {
+//	    for range time.Tick(time.Second) {
+//	        sum := eng.Snapshot()
+//	        log.Printf("%s: kept %d/%d mean %.3g CI [%.3g, %.3g]",
+//	            sum.Technique, sum.Kept, sum.Seen, sum.Mean, sum.CILow, sum.CIHigh)
+//	    }
+//	}()
+//
+// The batch form of the paper's figures, Engine.Sample, drives the same
+// engine over a whole series, so streaming and batch output are
+// identical by construction.
+//
+// # Beyond the engine
+//
+// The rest of the paper's toolkit is exported alongside: the evaluation
+// metrics (MeanOf, Eta, Overhead, Efficiency), repeated-instance
+// evaluation (RunInstances with spec factories), the BSS parameter
+// design (NewBSSDesign), and the Theorem 1 Hurst-preservation checker
+// (CheckSNC, GapPMF).
+package sampling

@@ -1,0 +1,214 @@
+package sampling
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/stats"
+)
+
+// Sample is one selected observation of the parent process.
+type Sample = core.Sample
+
+// Engine is a live instance of a sampling technique: ticks of the
+// observed process go in through Offer, selected samples come out, and
+// Snapshot exposes the running estimate at any moment without disturbing
+// the stream. An engine consumes exactly one stream; build a fresh one
+// per run.
+//
+// All methods are safe for concurrent use. The intended split is one
+// goroutine driving Offer/Finish (ticks must arrive in order) while any
+// number of observers call Snapshot.
+type Engine struct {
+	mu         sync.Mutex
+	spec       Spec
+	specString string
+	impl       core.StreamSampler
+	clock      func() time.Time
+	start      time.Time
+	budget     int
+
+	seen      int // ticks offered so far; doubles as the next tick index
+	kept      int
+	qualified int
+	acc       stats.Accumulator // over kept sample values
+
+	finished  bool
+	finishErr error
+}
+
+// New builds an engine from a typed spec. The spec's technique must be
+// registered and every parameter must be accepted: unknown names wrap
+// ErrUnknownTechnique and rejected parameters surface as a *ParamError,
+// so callers can branch on the failure mode.
+func New(spec Spec, opts ...Option) (*Engine, error) {
+	cfg := config{clock: time.Now}
+	for _, opt := range opts {
+		if opt == nil {
+			return nil, fmt.Errorf("sampling: nil option")
+		}
+		if err := opt(&cfg); err != nil {
+			return nil, err
+		}
+	}
+	if cfg.seed != nil {
+		spec = spec.With("seed", strconv.FormatUint(*cfg.seed, 10))
+	}
+	// The typed build path: parameters go to the technique's factory as
+	// the map they already are, never round-tripped through the string
+	// syntax (which would re-tokenize values containing ',' or '=').
+	impl, err := core.BuildStream(spec.Technique, spec.Params)
+	if err != nil {
+		return nil, err
+	}
+	now := cfg.clock()
+	return &Engine{
+		spec:       spec,
+		specString: spec.String(),
+		impl:       impl,
+		clock:      cfg.clock,
+		start:      now,
+		budget:     cfg.budget,
+	}, nil
+}
+
+// Technique returns the engine's technique name.
+func (e *Engine) Technique() string { return e.impl.Name() }
+
+// Spec returns a copy of the engine's spec, including any parameters
+// injected by options (e.g. WithSeed).
+func (e *Engine) Spec() Spec {
+	out := Spec{Technique: e.spec.Technique, Params: make(map[string]string, len(e.spec.Params))}
+	for k, v := range e.spec.Params {
+		out.Params[k] = v
+	}
+	return out
+}
+
+// Offer presents the next tick of the observed process, in stream order,
+// and returns the sample this tick finalized, if any — possibly carrying
+// an earlier index when the technique defers its decision (stratified
+// picks, BSS probes). After Finish, Offer is a no-op returning false.
+func (e *Engine) Offer(value float64) (Sample, bool) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.finished {
+		return Sample{}, false
+	}
+	idx := e.seen
+	e.seen++
+	smp, ok := e.impl.Offer(idx, value)
+	if !ok {
+		return Sample{}, false
+	}
+	if e.budget > 0 && e.kept >= e.budget {
+		return Sample{}, false
+	}
+	e.record(smp)
+	return smp, true
+}
+
+func (e *Engine) record(s Sample) {
+	e.kept++
+	e.acc.Add(s.Value)
+	if s.Qualified {
+		e.qualified++
+	}
+}
+
+// Finish declares the end of the stream and returns the samples that
+// could only be decided with the whole stream seen (e.g. a simple random
+// draw), or the engine's deferred error. Finish is idempotent: the first
+// call finalizes and returns the tail; later calls return (nil, err)
+// with the same error. It does not invalidate Snapshot, which keeps
+// reporting the final state.
+func (e *Engine) Finish() ([]Sample, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.finished {
+		return nil, e.finishErr
+	}
+	e.finished = true
+	tail, err := e.impl.Finish()
+	if err != nil {
+		e.finishErr = err
+		return nil, err
+	}
+	if e.budget > 0 {
+		room := e.budget - e.kept
+		if room < 0 {
+			room = 0
+		}
+		if len(tail) > room {
+			tail = tail[:room]
+		}
+	}
+	for _, s := range tail {
+		e.record(s)
+	}
+	return tail, nil
+}
+
+// Snapshot returns the engine's running summary: kept/seen counts, the
+// mean of the kept values and its 95% confidence interval. It never
+// finalizes anything and is safe to call concurrently while ticks flow;
+// counters are monotonically non-decreasing across snapshots.
+func (e *Engine) Snapshot() Summary {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	now := e.clock()
+	s := Summary{
+		Technique: e.impl.Name(),
+		Spec:      e.specString,
+		Seen:      e.seen,
+		Kept:      e.kept,
+		Qualified: e.qualified,
+		Budget:    e.budget,
+		Mean:      e.acc.Mean(),
+		Variance:  e.acc.SampleVariance(),
+		Finished:  e.finished,
+		Err:       e.finishErr,
+		At:        now,
+		Uptime:    now.Sub(e.start),
+	}
+	s.CILow, s.CIHigh = ci95(&e.acc)
+	return s
+}
+
+// ci95 computes the normal-approximation 95% confidence interval for the
+// mean of the accumulated values; NaNs below two observations.
+func ci95(acc *stats.Accumulator) (lo, hi float64) {
+	n := acc.N()
+	if n < 2 {
+		return math.NaN(), math.NaN()
+	}
+	half := 1.96 * math.Sqrt(acc.SampleVariance()/float64(n))
+	m := acc.Mean()
+	return m - half, m + half
+}
+
+// Sample runs the engine over a complete series and returns every
+// selected observation in index order — the paper's batch formulation
+// f -> []Sample, driven through the same streaming state machine so
+// batch and tick-by-tick use produce identical output. It must be the
+// engine's only use: Sample offers every element and then finalizes.
+func (e *Engine) Sample(f []float64) ([]Sample, error) {
+	if len(f) == 0 {
+		return nil, fmt.Errorf("sampling: cannot sample an empty series")
+	}
+	out := make([]Sample, 0, 16)
+	for _, v := range f {
+		if s, ok := e.Offer(v); ok {
+			out = append(out, s)
+		}
+	}
+	tail, err := e.Finish()
+	if err != nil {
+		return nil, err
+	}
+	return append(out, tail...), nil
+}

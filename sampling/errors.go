@@ -1,0 +1,20 @@
+package sampling
+
+import "repro/internal/core"
+
+// The typed failure modes of Parse and New. They alias the internal
+// registry's errors so a *ParamError produced deep inside a factory
+// satisfies errors.As against the public type.
+var (
+	// ErrUnknownTechnique is wrapped by errors from New when the spec
+	// names no registered technique.
+	ErrUnknownTechnique = core.ErrUnknownTechnique
+	// ErrBadSpec is wrapped by errors from Parse when the spec string
+	// does not follow the "name:key=val,key=val" syntax.
+	ErrBadSpec = core.ErrBadSpec
+)
+
+// ParamError reports a spec parameter the technique rejected: a value
+// that does not parse, a missing required parameter, or a key the
+// technique does not accept. Extract it from New's error with errors.As.
+type ParamError = core.ParamError

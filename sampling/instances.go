@@ -1,0 +1,104 @@
+package sampling
+
+import (
+	"strconv"
+
+	"repro/internal/core"
+)
+
+// InstanceStats aggregates repeated sampling experiments ("instances" in
+// the paper's terminology: different systematic offsets, or different
+// random draws at the same rate).
+type InstanceStats = core.InstanceStats
+
+// RunInstances executes n independent sampling instances described by
+// the specs the factory yields and reduces them against the known real
+// mean. The factory receives the instance number (0..n-1) and typically
+// varies the systematic offset or the random seed; see
+// SystematicInstances and friends for the standard variations.
+func RunInstances(f []float64, realMean float64, n int, factory func(instance int) (Spec, error)) (InstanceStats, error) {
+	return core.RunInstances(f, realMean, n, func(i int) (core.Sampler, error) {
+		spec, err := factory(i)
+		if err != nil {
+			return nil, err
+		}
+		return core.Build(spec.Technique, spec.Params)
+	})
+}
+
+// SystematicInstances yields systematic specs whose offsets are spread
+// evenly across the sampling interval — the paper's notion of distinct
+// systematic instances ("different starting sampling points").
+func SystematicInstances(interval int) func(int) (Spec, error) {
+	return func(i int) (Spec, error) {
+		return Spec{Technique: "systematic", Params: map[string]string{
+			"interval": strconv.Itoa(interval),
+			"offset":   strconv.Itoa(core.SpreadOffset(i, interval)),
+		}}, nil
+	}
+}
+
+// StratifiedInstances yields stratified specs with one derived seed per
+// instance.
+func StratifiedInstances(interval int, baseSeed uint64) func(int) (Spec, error) {
+	return func(i int) (Spec, error) {
+		return Spec{Technique: "stratified", Params: map[string]string{
+			"interval": strconv.Itoa(interval),
+			"seed":     strconv.FormatUint(instanceSeed(baseSeed, i), 10),
+		}}, nil
+	}
+}
+
+// SimpleRandomInstances yields n-sample simple random specs with one
+// derived seed per instance.
+func SimpleRandomInstances(n int, baseSeed uint64) func(int) (Spec, error) {
+	return func(i int) (Spec, error) {
+		return Spec{Technique: "simple-random", Params: map[string]string{
+			"n":    strconv.Itoa(n),
+			"seed": strconv.FormatUint(instanceSeed(baseSeed, i), 10),
+		}}, nil
+	}
+}
+
+// BSSInstances spreads the offset of a base BSS spec across its sampling
+// interval, holding every other parameter fixed. The base spec must
+// carry interval=N or rate=R.
+func BSSInstances(base Spec) func(int) (Spec, error) {
+	return func(i int) (Spec, error) {
+		interval, err := specInterval(base)
+		if err != nil {
+			return Spec{}, err
+		}
+		return base.With("offset", strconv.Itoa(core.SpreadOffset(i, interval))), nil
+	}
+}
+
+// instanceSeed mirrors the per-instance seed derivation the internal
+// instance factories use, so spec-built instances reproduce them exactly.
+func instanceSeed(baseSeed uint64, i int) uint64 {
+	return baseSeed + uint64(i)*0x9e3779b9
+}
+
+// specInterval resolves a spec's base sampling interval from its
+// interval or rate parameter.
+func specInterval(s Spec) (int, error) {
+	if v, ok := s.Param("interval"); ok {
+		iv, err := strconv.Atoi(v)
+		if err != nil {
+			return 0, &ParamError{Technique: s.Technique, Param: "interval", Value: v, Reason: "not an integer"}
+		}
+		return iv, nil
+	}
+	if v, ok := s.Param("rate"); ok {
+		r, err := strconv.ParseFloat(v, 64)
+		if err != nil {
+			return 0, &ParamError{Technique: s.Technique, Param: "rate", Value: v, Reason: "not a number"}
+		}
+		iv, err := core.IntervalForRate(r)
+		if err != nil {
+			return 0, &ParamError{Technique: s.Technique, Param: "rate", Value: v, Reason: "outside (0,1]"}
+		}
+		return iv, nil
+	}
+	return 0, &ParamError{Technique: s.Technique, Param: "interval", Reason: "spec needs interval=N or rate=R"}
+}

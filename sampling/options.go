@@ -1,0 +1,53 @@
+package sampling
+
+import (
+	"fmt"
+	"time"
+)
+
+// Option configures an Engine at construction; see New.
+type Option func(*config) error
+
+type config struct {
+	seed   *uint64
+	budget int
+	clock  func() time.Time
+}
+
+// WithSeed sets the random seed of a randomized technique, overriding
+// any seed parameter already in the spec. Using it with a technique that
+// takes no seed (e.g. systematic) is a *ParamError, so a typo'd option
+// fails loudly instead of silently doing nothing.
+func WithSeed(seed uint64) Option {
+	return func(c *config) error {
+		c.seed = &seed
+		return nil
+	}
+}
+
+// WithBudget caps the number of samples the engine keeps at n >= 1.
+// Once the budget is exhausted the engine keeps consuming ticks (so the
+// technique's internal state stays faithful to the stream) but emits no
+// further samples — a hard memory/IO bound for long-running monitors.
+func WithBudget(n int) Option {
+	return func(c *config) error {
+		if n < 1 {
+			return fmt.Errorf("sampling: budget %d must be >= 1", n)
+		}
+		c.budget = n
+		return nil
+	}
+}
+
+// WithClock substitutes the time source used to stamp snapshots
+// (Summary.At, Summary.Uptime). The default is time.Now; tests inject a
+// fake clock for deterministic summaries.
+func WithClock(now func() time.Time) Option {
+	return func(c *config) error {
+		if now == nil {
+			return fmt.Errorf("sampling: WithClock needs a non-nil time source")
+		}
+		c.clock = now
+		return nil
+	}
+}

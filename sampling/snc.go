@@ -1,0 +1,51 @@
+package sampling
+
+import (
+	"repro/internal/core"
+	"repro/internal/lrd"
+)
+
+// The Theorem 1 surface: deciding whether a sampling strategy preserves
+// the Hurst parameter from the law of its inter-sample gaps.
+
+// IntervalPMF is the probability law of the gaps between successive
+// samples, the input to the SNC checker.
+type IntervalPMF = core.IntervalPMF
+
+// SNCResult is the outcome of the Sufficient-and-Necessary Condition
+// check; Preserved(tol) answers the headline question.
+type SNCResult = core.SNCResult
+
+// PowerLawACF is the asymptotic autocorrelation R(tau) ~ Const*tau^-Beta
+// of a long-range-dependent process (H = 1 - Beta/2).
+type PowerLawACF = lrd.PowerLawACF
+
+// CheckSNC applies Theorem 1's numerical test: it thins the process ACF
+// through the gap law and fits the decay exponent of the sampled
+// process, using the FFT method of Section III-D.
+func CheckSNC(p IntervalPMF, acf PowerLawACF, taus []int) (SNCResult, error) {
+	return core.CheckSNC(p, acf, taus)
+}
+
+// SystematicPMF is the (degenerate) gap law of systematic sampling with
+// interval c.
+func SystematicPMF(c int) (IntervalPMF, error) { return core.SystematicPMF(c) }
+
+// StratifiedPMF is the closed-form gap law of stratified sampling with
+// stratum length c.
+func StratifiedPMF(c int) (IntervalPMF, error) { return core.StratifiedPMF(c) }
+
+// BernoulliPMF is the geometric gap law of rate-r Bernoulli (simple
+// random, Eq. 13) sampling, truncated where the tail mass drops below tol.
+func BernoulliPMF(r, tol float64) (IntervalPMF, error) { return core.BernoulliPMF(r, tol) }
+
+// GapPMF estimates a technique's gap law empirically by sampling an
+// index series of the given length — the route for strategies with no
+// closed-form law.
+func GapPMF(spec Spec, seriesLen int) (IntervalPMF, error) {
+	s, err := core.Build(spec.Technique, spec.Params)
+	if err != nil {
+		return IntervalPMF{}, err
+	}
+	return core.GapPMF(s, seriesLen)
+}

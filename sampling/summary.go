@@ -1,0 +1,30 @@
+package sampling
+
+import "time"
+
+// Summary is a point-in-time view of a live engine, returned by
+// Engine.Snapshot. All counters are monotonically non-decreasing across
+// successive snapshots of the same engine.
+type Summary struct {
+	Technique string // technique name, e.g. "bss"
+	Spec      string // canonical spec string the engine was built from
+
+	Seen      int // ticks offered so far
+	Kept      int // samples kept so far (base + qualified)
+	Qualified int // BSS qualified samples kept so far
+	Budget    int // kept-sample cap from WithBudget; 0 = unlimited
+
+	Mean     float64 // running mean of the kept sample values (NaN before the first)
+	Variance float64 // running unbiased variance of the kept values (NaN below 2)
+	CILow    float64 // lower end of the 95% confidence interval for Mean (NaN below 2)
+	CIHigh   float64 // upper end of the 95% confidence interval for Mean (NaN below 2)
+
+	Finished bool  // Finish has been called
+	Err      error // deferred engine error recorded by Finish, if any
+
+	At     time.Time     // when the snapshot was taken (per the engine's clock)
+	Uptime time.Duration // time since the engine was built
+}
+
+// Exhausted reports whether a kept-sample budget is set and used up.
+func (s Summary) Exhausted() bool { return s.Budget > 0 && s.Kept >= s.Budget }
