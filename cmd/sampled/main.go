@@ -1,0 +1,122 @@
+// Command sampled is the sampling service: an HTTP daemon multiplexing
+// thousands of named traffic streams over live sampling engines via a
+// sharded hub. Each stream is created from a sampler spec, ingests
+// batched ticks, can be observed non-destructively at any moment, and
+// is finalized (or evicted after an idle TTL) when its traffic stops.
+//
+// The v1 resource model:
+//
+//	PUT    /v1/streams/{id}           create: {"spec": "bss:rate=1e-3,L=10", "seed": 7, "budget": 0}
+//	POST   /v1/streams/{id}/ticks     ingest: JSON array of numbers, or whitespace-separated text
+//	GET    /v1/streams/{id}/snapshot  live summary (non-destructive)
+//	DELETE /v1/streams/{id}           finish: final summary + end-of-stream samples
+//	GET    /v1/streams                live stream ids
+//	GET    /metrics                   Prometheus text format
+//
+// Typed failures map onto statuses: unknown techniques, bad specs and
+// rejected parameters are 400s, a missing stream is a 404, a duplicate
+// create is a 409. Shutdown is graceful: SIGINT/SIGTERM stops accepting
+// and drains in-flight requests.
+//
+// Example:
+//
+//	sampled -addr :8080 -ttl 10m &
+//	curl -X PUT localhost:8080/v1/streams/link0 -d '{"spec": "systematic:interval=100"}'
+//	seq 1 100000 | tr '\n' ' ' | curl -X POST localhost:8080/v1/streams/link0/ticks --data-binary @-
+//	curl localhost:8080/v1/streams/link0/snapshot
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/sampling/hub"
+)
+
+func main() {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, os.Args[1:], nil); err != nil {
+		fmt.Fprintln(os.Stderr, "sampled:", err)
+		os.Exit(1)
+	}
+}
+
+// run boots the daemon and blocks until the context is canceled and the
+// server has drained. When ready is non-nil it receives the bound
+// address once the listener is up — the hook the end-to-end tests use
+// to boot on a loopback port.
+func run(ctx context.Context, args []string, ready chan<- net.Addr) error {
+	fs := flag.NewFlagSet("sampled", flag.ContinueOnError)
+	var (
+		addr    = fs.String("addr", ":8080", "listen address")
+		shards  = fs.Int("shards", 64, "hub lock stripes (rounded up to a power of two)")
+		ttl     = fs.Duration("ttl", 0, "evict streams idle for longer than this (0 = never)")
+		sweep   = fs.Duration("sweep-every", time.Minute, "idle-eviction sweep period (with -ttl)")
+		maxBody = fs.Int64("max-body", 32<<20, "request body cap in bytes")
+		drain   = fs.Duration("drain", 10*time.Second, "graceful-shutdown drain timeout")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	h := hub.New(hub.WithShards(*shards), hub.WithIdleTTL(*ttl))
+	logger := log.New(os.Stderr, "sampled: ", log.LstdFlags)
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	logger.Printf("listening on %s (%d shards, ttl %s)", ln.Addr(), *shards, *ttl)
+	if ready != nil {
+		ready <- ln.Addr()
+	}
+
+	if *ttl > 0 {
+		go func() {
+			t := time.NewTicker(*sweep)
+			defer t.Stop()
+			for {
+				select {
+				case <-ctx.Done():
+					return
+				case <-t.C:
+					if n := h.Sweep(); n > 0 {
+						logger.Printf("evicted %d idle streams", n)
+					}
+				}
+			}
+		}()
+	}
+
+	srv := &http.Server{Handler: newServer(h, *maxBody)}
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(ln) }()
+
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+	logger.Printf("shutting down (draining up to %s)", *drain)
+	sctx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	if err := srv.Shutdown(sctx); err != nil {
+		return fmt.Errorf("shutdown: %w", err)
+	}
+	if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	st := h.Stats()
+	logger.Printf("served %d ticks across %d streams (%.0f ticks/s lifetime average)",
+		st.Ticks, st.Created, st.TicksPerSec)
+	return nil
+}

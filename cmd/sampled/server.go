@@ -1,0 +1,269 @@
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"strconv"
+	"strings"
+
+	"repro/sampling"
+	"repro/sampling/hub"
+)
+
+// server is the HTTP face of a hub: the v1 stream resource plus a
+// Prometheus-style metrics endpoint.
+type server struct {
+	hub     *hub.Hub
+	maxBody int64
+}
+
+// newServer builds the daemon's handler around an existing hub. maxBody
+// caps request bodies in bytes (0 means the default of 32 MiB) — an
+// ingest batch bigger than that should be split by the client anyway.
+func newServer(h *hub.Hub, maxBody int64) http.Handler {
+	if maxBody <= 0 {
+		maxBody = 32 << 20
+	}
+	s := &server{hub: h, maxBody: maxBody}
+	mux := http.NewServeMux()
+	mux.HandleFunc("PUT /v1/streams/{id}", s.createStream)
+	mux.HandleFunc("POST /v1/streams/{id}/ticks", s.offerTicks)
+	mux.HandleFunc("GET /v1/streams/{id}/snapshot", s.snapshot)
+	mux.HandleFunc("DELETE /v1/streams/{id}", s.finishStream)
+	mux.HandleFunc("GET /v1/streams", s.listStreams)
+	mux.HandleFunc("GET /metrics", s.metrics)
+	return mux
+}
+
+// statusFor maps the typed error chain onto an HTTP status: client
+// mistakes (bad specs, unknown techniques, rejected parameters) are
+// 400s, lifecycle conflicts are 404/409, anything untyped is a 500.
+func statusFor(err error) int {
+	var pe *sampling.ParamError
+	switch {
+	case errors.Is(err, hub.ErrStreamNotFound):
+		return http.StatusNotFound
+	case errors.Is(err, hub.ErrStreamExists):
+		return http.StatusConflict
+	case errors.Is(err, sampling.ErrUnknownTechnique),
+		errors.Is(err, sampling.ErrBadSpec),
+		errors.Is(err, hub.ErrInvalidID),
+		errors.As(err, &pe):
+		return http.StatusBadRequest
+	}
+	return http.StatusInternalServerError
+}
+
+func writeError(w http.ResponseWriter, err error) {
+	writeJSON(w, statusFor(err), map[string]string{"error": err.Error()})
+}
+
+// writeBodyError reports a request-body failure: 413 when the body blew
+// the size cap (retryable by splitting the batch), 400 otherwise.
+func writeBodyError(w http.ResponseWriter, err error) {
+	status := http.StatusBadRequest
+	var mbe *http.MaxBytesError
+	if errors.As(err, &mbe) {
+		status = http.StatusRequestEntityTooLarge
+	}
+	writeJSON(w, status, map[string]string{"error": "body: " + err.Error()})
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v)
+}
+
+// createRequest is the body of PUT /v1/streams/{id}. The spec comes in
+// either wire form — the object {"technique": ..., "params": {...}} or
+// the spec string "bss:rate=1e-3,L=10" — and seed/budget map onto the
+// engine options of the public API.
+type createRequest struct {
+	Spec   sampling.Spec `json:"spec"`
+	Seed   *uint64       `json:"seed,omitempty"`
+	Budget int           `json:"budget,omitempty"`
+}
+
+// decodeStrict decodes exactly one JSON value from r, rejecting unknown
+// object fields and trailing input — a concatenated second value means
+// the client built the request wrong, and dropping it silently would
+// corrupt ingest counts.
+func decodeStrict(r io.Reader, v any) error {
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		return err
+	}
+	if dec.More() {
+		return fmt.Errorf("trailing data after JSON value")
+	}
+	return nil
+}
+
+func (s *server) createStream(w http.ResponseWriter, r *http.Request) {
+	var req createRequest
+	if err := decodeStrict(http.MaxBytesReader(w, r.Body, s.maxBody), &req); err != nil {
+		writeBodyError(w, err)
+		return
+	}
+	var opts []sampling.Option
+	if req.Seed != nil {
+		opts = append(opts, sampling.WithSeed(*req.Seed))
+	}
+	// 0 is the documented "unlimited" default; anything else below 1 is
+	// a client mistake and must not silently create an unbounded stream.
+	if req.Budget < 0 {
+		writeJSON(w, http.StatusBadRequest,
+			map[string]string{"error": fmt.Sprintf("budget %d must be >= 0", req.Budget)})
+		return
+	}
+	if req.Budget > 0 {
+		opts = append(opts, sampling.WithBudget(req.Budget))
+	}
+	id := r.PathValue("id")
+	if err := s.hub.Create(id, req.Spec, opts...); err != nil {
+		writeError(w, err)
+		return
+	}
+	sum, err := s.hub.Snapshot(id)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, sum)
+}
+
+// offerResponse is the body of a successful tick ingest.
+type offerResponse struct {
+	Accepted int `json:"accepted"` // ticks offered to the engine
+	Kept     int `json:"kept"`     // samples this batch finalized
+}
+
+// offerTicks ingests one batch. Two body formats: a JSON array of
+// numbers (Content-Type application/json) and newline- or
+// whitespace-separated decimal floats (anything else) — the latter is
+// what `tr` and `awk` pipelines produce. Ticks within one stream must
+// be posted sequentially; batches for different streams are fully
+// concurrent.
+func (s *server) offerTicks(w http.ResponseWriter, r *http.Request) {
+	body := http.MaxBytesReader(w, r.Body, s.maxBody)
+	var values []float64
+	if strings.HasPrefix(r.Header.Get("Content-Type"), "application/json") {
+		// Decode through pointers so a null element — which plain
+		// []float64 silently turns into a phantom 0.0 tick — is
+		// distinguishable and rejected.
+		var boxed []*float64
+		if err := decodeStrict(body, &boxed); err != nil {
+			writeBodyError(w, err)
+			return
+		}
+		values = make([]float64, len(boxed))
+		for i, p := range boxed {
+			if p == nil {
+				writeJSON(w, http.StatusBadRequest,
+					map[string]string{"error": fmt.Sprintf("tick %d: null is not a tick value", i)})
+				return
+			}
+			values[i] = *p
+		}
+	} else {
+		sc := bufio.NewScanner(body)
+		sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+		sc.Split(bufio.ScanWords)
+		for sc.Scan() {
+			v, err := strconv.ParseFloat(sc.Text(), 64)
+			if err != nil {
+				writeJSON(w, http.StatusBadRequest,
+					map[string]string{"error": fmt.Sprintf("tick %d: %v", len(values), err)})
+				return
+			}
+			// ParseFloat accepts NaN/Inf spellings, but one NaN poisons
+			// the stream's running moments for the rest of its life.
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				writeJSON(w, http.StatusBadRequest,
+					map[string]string{"error": fmt.Sprintf("tick %d: non-finite value %v", len(values), v)})
+				return
+			}
+			values = append(values, v)
+		}
+		if err := sc.Err(); err != nil {
+			writeBodyError(w, err)
+			return
+		}
+	}
+	kept, err := s.hub.OfferBatch(r.PathValue("id"), values)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, offerResponse{Accepted: len(values), Kept: kept})
+}
+
+func (s *server) snapshot(w http.ResponseWriter, r *http.Request) {
+	sum, err := s.hub.Snapshot(r.PathValue("id"))
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, sum)
+}
+
+// sampleJSON is the wire form of one kept sample.
+type sampleJSON struct {
+	Index     int     `json:"index"`
+	Value     float64 `json:"value"`
+	Qualified bool    `json:"qualified,omitempty"`
+}
+
+// finishResponse is the body of DELETE /v1/streams/{id}: the final
+// summary plus the samples only decidable at end of stream.
+type finishResponse struct {
+	Summary sampling.Summary `json:"summary"`
+	Tail    []sampleJSON     `json:"tail"`
+}
+
+// finishStream ends a stream. The stream is removed even when the
+// engine's finalization fails (e.g. a fixed-size simple random draw
+// over a shorter stream): the DELETE itself succeeded, and the summary
+// carries the engine error for the client to inspect.
+func (s *server) finishStream(w http.ResponseWriter, r *http.Request) {
+	tail, sum, err := s.hub.Finish(r.PathValue("id"))
+	if err != nil && errors.Is(err, hub.ErrStreamNotFound) {
+		writeError(w, err)
+		return
+	}
+	resp := finishResponse{Summary: sum, Tail: make([]sampleJSON, len(tail))}
+	for i, smp := range tail {
+		resp.Tail[i] = sampleJSON{Index: smp.Index, Value: smp.Value, Qualified: smp.Qualified}
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *server) listStreams(w http.ResponseWriter, r *http.Request) {
+	ids := s.hub.List()
+	if ids == nil {
+		ids = []string{}
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"streams": ids, "count": len(ids)})
+}
+
+// metrics renders the hub's aggregate stats in the Prometheus text
+// exposition format — counters are cumulative and monotonic, so rate()
+// over sampled_ticks_total gives live ingest throughput.
+func (s *server) metrics(w http.ResponseWriter, r *http.Request) {
+	st := s.hub.Stats()
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	fmt.Fprintf(w, "# HELP sampled_streams Live sampling streams.\n# TYPE sampled_streams gauge\nsampled_streams %d\n", st.Streams)
+	fmt.Fprintf(w, "# HELP sampled_streams_created_total Streams ever created.\n# TYPE sampled_streams_created_total counter\nsampled_streams_created_total %d\n", st.Created)
+	fmt.Fprintf(w, "# HELP sampled_streams_evicted_total Streams evicted after the idle TTL.\n# TYPE sampled_streams_evicted_total counter\nsampled_streams_evicted_total %d\n", st.Evicted)
+	fmt.Fprintf(w, "# HELP sampled_ticks_total Ticks ingested across all streams.\n# TYPE sampled_ticks_total counter\nsampled_ticks_total %d\n", st.Ticks)
+	fmt.Fprintf(w, "# HELP sampled_samples_kept_total Samples kept across all streams.\n# TYPE sampled_samples_kept_total counter\nsampled_samples_kept_total %d\n", st.Kept)
+	fmt.Fprintf(w, "# HELP sampled_uptime_seconds Seconds since the hub started.\n# TYPE sampled_uptime_seconds gauge\nsampled_uptime_seconds %g\n", st.Uptime.Seconds())
+	fmt.Fprintf(w, "# HELP sampled_ticks_per_second_avg Lifetime average ingest rate.\n# TYPE sampled_ticks_per_second_avg gauge\nsampled_ticks_per_second_avg %g\n", st.TicksPerSec)
+}

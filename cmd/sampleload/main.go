@@ -1,0 +1,358 @@
+// Command sampleload drives a sampling service with self-similar
+// traffic and reports the achieved ingest rate — the measuring stick
+// for the hot path. It creates N concurrent streams, feeds each a
+// long-range-dependent series (exact fGn or a heavy-tailed ON/OFF
+// superposition) in batches, and prints the aggregate ticks/sec.
+//
+// Two targets:
+//
+//	sampleload -direct                      # in-process against a sampling/hub.Hub
+//	sampleload -addr localhost:8080         # over HTTP against a running sampled daemon
+//
+// The traffic is generated once (a base series shared by all streams,
+// phase-rotated per stream so streams do not tick in lockstep) and the
+// ingest phase alone is timed, so the report measures the service, not
+// the generator.
+//
+// Examples:
+//
+//	sampleload -direct -streams 256 -ticks 100000 -spec "bss:interval=100,L=5"
+//	sampleload -addr localhost:8080 -streams 32 -ticks 20000 -traffic onoff
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"runtime"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/dist"
+	"repro/internal/lrd"
+	"repro/internal/traffic"
+	"repro/sampling"
+	"repro/sampling/hub"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "sampleload:", err)
+		os.Exit(1)
+	}
+}
+
+// loadConfig parameterizes one load run.
+type loadConfig struct {
+	direct  bool
+	addr    string
+	streams int
+	ticks   int // per stream
+	batch   int
+	workers int
+	spec    string
+	traffic string // "fgn" or "onoff"
+	hurst   float64
+	seed    uint64
+}
+
+// loadResult is what a run achieved.
+type loadResult struct {
+	ticks   int64
+	kept    int64
+	elapsed time.Duration
+}
+
+func (r loadResult) ticksPerSec() float64 {
+	if r.elapsed <= 0 {
+		return 0
+	}
+	return float64(r.ticks) / r.elapsed.Seconds()
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("sampleload", flag.ContinueOnError)
+	cfg := loadConfig{}
+	fs.BoolVar(&cfg.direct, "direct", false, "drive an in-process hub instead of a daemon")
+	fs.StringVar(&cfg.addr, "addr", "localhost:8080", "sampled daemon address (ignored with -direct)")
+	fs.IntVar(&cfg.streams, "streams", 64, "concurrent streams")
+	fs.IntVar(&cfg.ticks, "ticks", 100000, "ticks per stream")
+	fs.IntVar(&cfg.batch, "batch", 512, "ticks per ingest batch")
+	fs.IntVar(&cfg.workers, "workers", runtime.GOMAXPROCS(0), "ingest goroutines")
+	fs.StringVar(&cfg.spec, "spec", "systematic:interval=100", "sampler spec for every stream")
+	fs.StringVar(&cfg.traffic, "traffic", "fgn", "traffic model: fgn or onoff")
+	fs.Float64Var(&cfg.hurst, "hurst", 0.8, "Hurst parameter of the generated traffic")
+	fs.Uint64Var(&cfg.seed, "seed", 1, "traffic generator seed")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	res, err := runLoad(cfg, out)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "ingest:   %d ticks in %v -> %.3g ticks/s aggregate\n",
+		res.ticks, res.elapsed.Round(time.Millisecond), res.ticksPerSec())
+	fmt.Fprintf(out, "kept:     %d samples (%.3g%% of ticks)\n",
+		res.kept, 100*float64(res.kept)/float64(res.ticks))
+	return nil
+}
+
+// driver abstracts the two targets: the in-process hub and the HTTP
+// daemon. Per-stream call order matters (ticks must stay sequential);
+// different streams are driven fully in parallel.
+type driver interface {
+	create(id string, spec sampling.Spec) error
+	offer(id string, batch []float64) (kept int, err error)
+	finish(id string) error
+}
+
+type directDriver struct{ hub *hub.Hub }
+
+func (d directDriver) create(id string, spec sampling.Spec) error { return d.hub.Create(id, spec) }
+func (d directDriver) offer(id string, batch []float64) (int, error) {
+	return d.hub.OfferBatch(id, batch)
+}
+func (d directDriver) finish(id string) error {
+	// A deferred engine error (e.g. a fixed-size draw over a shorter
+	// stream) is a property of the workload, not a harness failure —
+	// the daemon's DELETE tolerates it the same way. Only a missing
+	// stream means the run itself went wrong.
+	_, _, err := d.hub.Finish(id)
+	if errors.Is(err, hub.ErrStreamNotFound) {
+		return err
+	}
+	return nil
+}
+
+type httpDriver struct {
+	base   string
+	client *http.Client
+}
+
+func (d httpDriver) do(method, url string, body []byte) ([]byte, error) {
+	req, err := http.NewRequest(method, url, bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := d.client.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode/100 != 2 {
+		return nil, fmt.Errorf("%s %s: %s: %s", method, url, resp.Status, strings.TrimSpace(string(data)))
+	}
+	return data, nil
+}
+
+func (d httpDriver) create(id string, spec sampling.Spec) error {
+	body, err := json.Marshal(map[string]any{"spec": spec})
+	if err != nil {
+		return err
+	}
+	_, err = d.do(http.MethodPut, d.base+"/v1/streams/"+id, body)
+	return err
+}
+
+func (d httpDriver) offer(id string, batch []float64) (int, error) {
+	body, err := json.Marshal(batch)
+	if err != nil {
+		return 0, err
+	}
+	data, err := d.do(http.MethodPost, d.base+"/v1/streams/"+id+"/ticks", body)
+	if err != nil {
+		return 0, err
+	}
+	var resp struct {
+		Kept int `json:"kept"`
+	}
+	if err := json.Unmarshal(data, &resp); err != nil {
+		return 0, err
+	}
+	return resp.Kept, nil
+}
+
+func (d httpDriver) finish(id string) error {
+	_, err := d.do(http.MethodDelete, d.base+"/v1/streams/"+id, nil)
+	return err
+}
+
+// baseSeries generates the shared traffic series. Length is capped at
+// 2^18 ticks; longer streams replay it cyclically — the load generator
+// measures ingest, and 262k ticks of exact fGn is plenty of burstiness
+// per revolution.
+func baseSeries(cfg loadConfig) ([]float64, error) {
+	n := cfg.ticks
+	if n > 1<<18 {
+		n = 1 << 18
+	}
+	if n < 16 {
+		n = 16
+	}
+	rng := dist.NewRand(cfg.seed)
+	switch cfg.traffic {
+	case "fgn":
+		gen, err := lrd.NewFGN(cfg.hurst, n, 10, 2)
+		if err != nil {
+			return nil, err
+		}
+		return gen.Generate(rng), nil
+	case "onoff":
+		alpha := lrd.AlphaFromH(cfg.hurst)
+		return traffic.GenerateOnOff(traffic.OnOffConfig{
+			Sources:  32,
+			AlphaOn:  alpha,
+			AlphaOff: alpha,
+			MeanOn:   10,
+			MeanOff:  20,
+			Rate:     1,
+			Ticks:    n,
+		}, rng)
+	default:
+		return nil, fmt.Errorf("unknown traffic model %q (fgn or onoff)", cfg.traffic)
+	}
+}
+
+// specAcceptsSeed probes whether the spec's technique takes a seed
+// parameter, by building a throwaway engine with one: randomized
+// techniques accept it, deterministic ones reject it with a
+// *sampling.ParamError.
+func specAcceptsSeed(spec sampling.Spec) bool {
+	_, err := sampling.New(spec.With("seed", "1"))
+	var pe *sampling.ParamError
+	return !(errors.As(err, &pe) && strings.Contains(pe.Param, "seed"))
+}
+
+// runLoad creates the streams, hammers the target from cfg.workers
+// goroutines, finishes every stream and returns what the ingest phase
+// (creation and teardown excluded) achieved.
+func runLoad(cfg loadConfig, out io.Writer) (loadResult, error) {
+	if cfg.streams < 1 || cfg.ticks < 1 || cfg.batch < 1 || cfg.workers < 1 {
+		return loadResult{}, fmt.Errorf("streams, ticks, batch and workers must all be >= 1")
+	}
+	spec, err := sampling.Parse(cfg.spec)
+	if err != nil {
+		return loadResult{}, err
+	}
+	base, err := baseSeries(cfg)
+	if err != nil {
+		return loadResult{}, err
+	}
+
+	var d driver
+	mode := "direct"
+	if cfg.direct {
+		d = directDriver{hub: hub.New()}
+	} else {
+		addr := cfg.addr
+		if !strings.Contains(addr, "://") {
+			addr = "http://" + addr
+		}
+		d = httpDriver{base: addr, client: &http.Client{Timeout: 30 * time.Second}}
+		mode = addr
+	}
+	fmt.Fprintf(out, "target:   %s, %d streams x %d ticks, batch %d, %d workers, spec %s\n",
+		mode, cfg.streams, cfg.ticks, cfg.batch, cfg.workers, spec)
+	fmt.Fprintf(out, "traffic:  %s (H=%.2f), base series %d ticks\n", cfg.traffic, cfg.hurst, len(base))
+
+	seedable := specAcceptsSeed(spec)
+	ids := make([]string, cfg.streams)
+	for i := range ids {
+		ids[i] = fmt.Sprintf("load-%05d", i)
+		// Randomized techniques get a distinct seed per stream — without
+		// one, N copies of the default seed would keep/drop in lockstep
+		// and the load would be degenerate. Seedless techniques (which
+		// reject the parameter) keep the spec as-is.
+		s := spec
+		if seedable {
+			s = spec.With("seed", fmt.Sprint(cfg.seed+uint64(i)))
+		}
+		if err := d.create(ids[i], s); err != nil {
+			return loadResult{}, fmt.Errorf("creating %s: %w", ids[i], err)
+		}
+	}
+
+	var totalKept, totalTicks atomic.Int64
+	var errMu sync.Mutex
+	var firstErr error
+	fail := func(err error) {
+		errMu.Lock()
+		if firstErr == nil {
+			firstErr = err
+		}
+		errMu.Unlock()
+	}
+	var wg sync.WaitGroup
+	start := time.Now()
+	for w := 0; w < cfg.workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			// Each worker owns a disjoint set of streams (single writer
+			// per stream) and round-robins batches across them, phase-
+			// rotated so concurrent streams replay different parts of the
+			// base series at any instant.
+			type cursor struct {
+				id        string
+				pos, left int
+			}
+			var mine []cursor
+			for i := w; i < cfg.streams; i += cfg.workers {
+				mine = append(mine, cursor{id: ids[i], pos: (i * 7919) % len(base), left: cfg.ticks})
+			}
+			for live := len(mine); live > 0; {
+				live = 0
+				for j := range mine {
+					c := &mine[j]
+					if c.left == 0 {
+						continue
+					}
+					n := cfg.batch
+					if n > c.left {
+						n = c.left
+					}
+					if n > len(base)-c.pos {
+						n = len(base) - c.pos
+					}
+					kept, err := d.offer(c.id, base[c.pos:c.pos+n])
+					if err != nil {
+						fail(err)
+						return
+					}
+					totalKept.Add(int64(kept))
+					totalTicks.Add(int64(n))
+					c.left -= n
+					c.pos = (c.pos + n) % len(base)
+					if c.left > 0 {
+						live++
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	if firstErr != nil {
+		return loadResult{}, firstErr
+	}
+	for _, id := range ids {
+		if err := d.finish(id); err != nil {
+			return loadResult{}, fmt.Errorf("finishing %s: %w", id, err)
+		}
+	}
+	return loadResult{ticks: totalTicks.Load(), kept: totalKept.Load(), elapsed: elapsed}, nil
+}

@@ -1,0 +1,235 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro/sampling"
+	"repro/sampling/hub"
+)
+
+func TestDirectLoad(t *testing.T) {
+	cfg := loadConfig{
+		direct:  true,
+		streams: 128,
+		ticks:   2000,
+		batch:   256,
+		workers: 8,
+		spec:    "systematic:interval=100",
+		traffic: "fgn",
+		hurst:   0.8,
+		seed:    1,
+	}
+	var buf bytes.Buffer
+	res, err := runLoad(cfg, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := int64(cfg.streams * cfg.ticks); res.ticks != want {
+		t.Errorf("ingested %d ticks, want %d", res.ticks, want)
+	}
+	// interval=100 keeps 20 of every stream's 2000 ticks exactly.
+	if want := int64(cfg.streams * cfg.ticks / 100); res.kept != want {
+		t.Errorf("kept %d samples, want %d", res.kept, want)
+	}
+	// The roadmap's floor is 1M ticks/s aggregate; log, don't assert —
+	// CI machines are not benchmarking rigs.
+	t.Logf("direct mode: %.3g ticks/s aggregate over %d streams", res.ticksPerSec(), cfg.streams)
+}
+
+func TestDirectLoadOnOffAndSeeds(t *testing.T) {
+	cfg := loadConfig{
+		direct:  true,
+		streams: 8,
+		ticks:   1000,
+		batch:   128,
+		workers: 4,
+		spec:    "bernoulli:rate=0.05,seed=3",
+		traffic: "onoff",
+		hurst:   0.75,
+		seed:    7,
+	}
+	var buf bytes.Buffer
+	res, err := runLoad(cfg, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := int64(cfg.streams * cfg.ticks); res.ticks != want {
+		t.Errorf("ingested %d ticks, want %d", res.ticks, want)
+	}
+	if res.kept == 0 {
+		t.Error("bernoulli kept nothing")
+	}
+}
+
+// fakeDaemon mirrors the sampled daemon's v1 surface over a hub — just
+// enough protocol for the HTTP driver to run against a loopback port.
+func fakeDaemon(h *hub.Hub) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("PUT /v1/streams/{id}", func(w http.ResponseWriter, r *http.Request) {
+		var req struct {
+			Spec sampling.Spec `json:"spec"`
+		}
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		if err := h.Create(r.PathValue("id"), req.Spec); err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		w.WriteHeader(http.StatusCreated)
+	})
+	mux.HandleFunc("POST /v1/streams/{id}/ticks", func(w http.ResponseWriter, r *http.Request) {
+		var values []float64
+		if err := json.NewDecoder(r.Body).Decode(&values); err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		kept, err := h.OfferBatch(r.PathValue("id"), values)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusNotFound)
+			return
+		}
+		json.NewEncoder(w).Encode(map[string]int{"accepted": len(values), "kept": kept})
+	})
+	mux.HandleFunc("DELETE /v1/streams/{id}", func(w http.ResponseWriter, r *http.Request) {
+		if _, _, err := h.Finish(r.PathValue("id")); err != nil {
+			http.Error(w, err.Error(), http.StatusNotFound)
+			return
+		}
+		w.Write([]byte("{}"))
+	})
+	return mux
+}
+
+func TestHTTPLoad(t *testing.T) {
+	h := hub.New()
+	srv := httptest.NewServer(fakeDaemon(h))
+	defer srv.Close()
+
+	cfg := loadConfig{
+		addr:    srv.URL,
+		streams: 16,
+		ticks:   1000,
+		batch:   250,
+		workers: 4,
+		spec:    "systematic:interval=50",
+		traffic: "fgn",
+		hurst:   0.8,
+		seed:    1,
+	}
+	var buf bytes.Buffer
+	res, err := runLoad(cfg, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := int64(cfg.streams * cfg.ticks); res.ticks != want {
+		t.Errorf("ingested %d ticks, want %d", res.ticks, want)
+	}
+	if want := int64(cfg.streams * cfg.ticks / 50); res.kept != want {
+		t.Errorf("kept %d samples, want %d", res.kept, want)
+	}
+	if h.Len() != 0 {
+		t.Errorf("%d streams left behind on the daemon", h.Len())
+	}
+	t.Logf("http mode: %.3g ticks/s aggregate", res.ticksPerSec())
+}
+
+func TestRunFlagsAndOutput(t *testing.T) {
+	var buf bytes.Buffer
+	err := run([]string{"-direct", "-streams", "4", "-ticks", "500", "-batch", "100",
+		"-workers", "2", "-spec", "systematic:interval=10"}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"ticks/s aggregate", "kept:", "traffic:  fgn"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestDirectLoadToleratesFinishErrors: a workload whose engines cannot
+// finalize (a 5000-sample draw over 1000 ticks) must still report its
+// ingest measurement — finish errors are workload properties, and the
+// HTTP daemon's DELETE tolerates them identically.
+func TestDirectLoadToleratesFinishErrors(t *testing.T) {
+	var buf bytes.Buffer
+	res, err := runLoad(loadConfig{direct: true, streams: 4, ticks: 1000, batch: 250, workers: 2,
+		spec: "simple:n=5000", traffic: "fgn", hurst: 0.8, seed: 1}, &buf)
+	if err != nil {
+		t.Fatalf("deferred finish error aborted the run: %v", err)
+	}
+	if res.ticks != 4000 {
+		t.Errorf("ingested %d ticks, want 4000", res.ticks)
+	}
+}
+
+func TestSpecAcceptsSeed(t *testing.T) {
+	cases := []struct {
+		spec string
+		want bool
+	}{
+		{"bernoulli:rate=0.2", true}, // randomized, seed omitted: must get per-stream seeds
+		{"stratified:interval=10", true},
+		{"simple:n=5", true},
+		{"systematic:interval=10", false},
+		{"bss:interval=10,L=3", false},
+	}
+	for _, tc := range cases {
+		if got := specAcceptsSeed(sampling.MustParse(tc.spec)); got != tc.want {
+			t.Errorf("specAcceptsSeed(%q) = %v, want %v", tc.spec, got, tc.want)
+		}
+	}
+}
+
+func TestBadConfig(t *testing.T) {
+	var buf bytes.Buffer
+	if _, err := runLoad(loadConfig{direct: true, streams: 1, ticks: 1, batch: 1, workers: 1,
+		spec: "systematic:interval=10", traffic: "tachyon"}, &buf); err == nil {
+		t.Error("unknown traffic model accepted")
+	}
+	if _, err := runLoad(loadConfig{direct: true, streams: 0, ticks: 1, batch: 1, workers: 1,
+		spec: "systematic:interval=10", traffic: "fgn", hurst: 0.8}, &buf); err == nil {
+		t.Error("zero streams accepted")
+	}
+	if _, err := runLoad(loadConfig{direct: true, streams: 1, ticks: 1, batch: 1, workers: 1,
+		spec: ":bad", traffic: "fgn", hurst: 0.8}, &buf); err == nil {
+		t.Error("bad spec accepted")
+	}
+}
+
+// BenchmarkDirectLoad is the CI-tracked number for the whole direct
+// path: stream creation, concurrent batched ingest of fGn traffic
+// across 64 streams, teardown. The ticks/s metric is the aggregate
+// ingest rate of the timed phase.
+func BenchmarkDirectLoad(b *testing.B) {
+	cfg := loadConfig{
+		direct:  true,
+		streams: 64,
+		ticks:   20000,
+		batch:   512,
+		workers: 8,
+		spec:    "systematic:interval=100",
+		traffic: "fgn",
+		hurst:   0.8,
+		seed:    1,
+	}
+	var rate float64
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		var buf bytes.Buffer
+		res, err := runLoad(cfg, &buf)
+		if err != nil {
+			b.Fatal(err)
+		}
+		rate = res.ticksPerSec()
+	}
+	b.ReportMetric(rate, "ticks/s")
+}

@@ -10,6 +10,17 @@
 // (ErrUnknownTechnique, *ParamError), the paper's evaluation metrics, the
 // BSS parameter design and the Theorem 1 Hurst-preservation checker.
 //
+// Above the single-engine API sits the serving layer: sampling/hub is a
+// sharded, lock-striped hub multiplexing thousands of named streams
+// (create, batched offer, non-destructive snapshot, finish, idle-TTL
+// eviction, aggregate stats), cmd/sampled exposes it as an HTTP daemon
+// (PUT/POST/GET/DELETE under /v1/streams plus Prometheus-style
+// /metrics, with typed errors mapped to statuses and graceful
+// shutdown), and cmd/sampleload is the matching load generator, driving
+// N concurrent streams of fGn or ON/OFF traffic in-process (-direct) or
+// over HTTP and reporting the achieved ticks/sec. Spec and Summary have
+// JSON wire forms for exactly this use.
+//
 // The implementation lives under internal/: the paper's contribution
 // (the three classic sampling techniques, Biased Systematic Sampling,
 // the SNC of Theorem 1, the average-variance theory of Theorem 2 and the

@@ -96,11 +96,6 @@ func Registry() map[string]Runner {
 // Names returns the sorted figure identifiers.
 func Names() []string { return append([]string(nil), figureIDs...) }
 
-// FigureIDs returns the sorted figure identifiers.
-//
-// Deprecated: FigureIDs is a legacy alias of Names; use Names.
-func FigureIDs() []string { return Names() }
-
 // table is a small text-table builder used by every Render method.
 type table struct {
 	title  string

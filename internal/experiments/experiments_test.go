@@ -35,18 +35,6 @@ func TestRegistryReturnsIndependentCopies(t *testing.T) {
 	}
 }
 
-func TestFigureIDsAliasesNames(t *testing.T) {
-	a, b := FigureIDs(), Names()
-	if len(a) != len(b) {
-		t.Fatalf("FigureIDs has %d ids, Names %d", len(a), len(b))
-	}
-	for i := range a {
-		if a[i] != b[i] {
-			t.Errorf("id %d: FigureIDs %q vs Names %q", i, a[i], b[i])
-		}
-	}
-}
-
 func TestScaleString(t *testing.T) {
 	if ScaleSmall.String() != "small" || ScaleFull.String() != "full" {
 		t.Error("Scale.String broken")

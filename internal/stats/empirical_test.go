@@ -167,57 +167,3 @@ func TestAutocovarianceErrors(t *testing.T) {
 		t.Error("expected error for constant series")
 	}
 }
-
-func TestDigamma(t *testing.T) {
-	// psi(1) = -gamma_Euler; psi(0.5) = -gamma - 2 ln 2; psi(x+1) = psi(x) + 1/x.
-	const euler = 0.5772156649015329
-	if got := Digamma(1); !almostEqual(got, -euler, 1e-9) {
-		t.Errorf("psi(1) = %g, want %g", got, -euler)
-	}
-	if got := Digamma(0.5); !almostEqual(got, -euler-2*math.Ln2, 1e-9) {
-		t.Errorf("psi(0.5) = %g, want %g", got, -euler-2*math.Ln2)
-	}
-	for _, x := range []float64{0.3, 1.7, 4.2, 25} {
-		lhs := Digamma(x + 1)
-		rhs := Digamma(x) + 1/x
-		if !almostEqual(lhs, rhs, 1e-9) {
-			t.Errorf("recurrence violated at %g: %g vs %g", x, lhs, rhs)
-		}
-	}
-	if !math.IsNaN(Digamma(0)) || !math.IsNaN(Digamma(-2)) {
-		t.Error("psi of nonpositive argument should be NaN")
-	}
-}
-
-func TestLogChoose(t *testing.T) {
-	if got := LogChoose(5, 2); !almostEqual(got, math.Log(10), 1e-10) {
-		t.Errorf("ln C(5,2) = %g, want ln 10", got)
-	}
-	if got := LogChoose(10, 0); got != 0 {
-		t.Errorf("ln C(10,0) = %g, want 0", got)
-	}
-	if !math.IsInf(LogChoose(3, 5), -1) {
-		t.Error("C(3,5) should be -Inf in log space")
-	}
-}
-
-func TestLogscaleCorrections(t *testing.T) {
-	// Bias correction shrinks to zero as n grows; variance ~ 2/(n ln^2 2).
-	if g := LogscaleBiasCorrection(4); g >= 0 {
-		t.Errorf("bias correction for small n should be negative, got %g", g)
-	}
-	if g := LogscaleBiasCorrection(1 << 16); math.Abs(g) > 1e-3 {
-		t.Errorf("bias correction for large n = %g, want ~0", g)
-	}
-	n := 1024
-	want := 2 / (float64(n) * math.Ln2 * math.Ln2)
-	if v := LogscaleVariance(n); !almostEqual(v, want, want*0.1) {
-		t.Errorf("logscale variance = %g, want ~%g", v, want)
-	}
-	if !math.IsNaN(LogscaleBiasCorrection(0)) {
-		t.Error("bias correction of n=0 should be NaN")
-	}
-	if !math.IsInf(LogscaleVariance(0), 1) {
-		t.Error("variance of n=0 should be +Inf")
-	}
-}

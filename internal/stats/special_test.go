@@ -1,0 +1,159 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+// Reference values for psi(x), from Abramowitz & Stegun / high-precision
+// computation: psi(1) = -gamma, psi(1/2) = -gamma - 2 ln 2, psi(2) = 1 - gamma.
+const eulerGamma = 0.5772156649015329
+
+func TestDigammaKnownValues(t *testing.T) {
+	cases := []struct{ x, want float64 }{
+		{1, -eulerGamma},
+		{0.5, -eulerGamma - 2*math.Ln2},
+		{2, 1 - eulerGamma},
+		{10, 2.2517525890667214},
+		{100, 4.600161852738087},
+	}
+	for _, tc := range cases {
+		if got := Digamma(tc.x); math.Abs(got-tc.want) > 1e-10 {
+			t.Errorf("Digamma(%g) = %.15g, want %.15g", tc.x, got, tc.want)
+		}
+	}
+}
+
+// The recurrence psi(x+1) = psi(x) + 1/x pins the shift logic against
+// the asymptotic series across the range the wavelet estimator uses.
+func TestDigammaRecurrence(t *testing.T) {
+	for _, x := range []float64{0.1, 0.7, 1.3, 2.5, 5.9, 17, 123.4} {
+		lhs := Digamma(x + 1)
+		rhs := Digamma(x) + 1/x
+		if math.Abs(lhs-rhs) > 1e-9*math.Max(1, math.Abs(rhs)) {
+			t.Errorf("recurrence broken at x=%g: psi(x+1)=%.15g, psi(x)+1/x=%.15g", x, lhs, rhs)
+		}
+	}
+}
+
+func TestDigammaInvalid(t *testing.T) {
+	for _, x := range []float64{0, -1, -0.5, math.NaN()} {
+		if got := Digamma(x); !math.IsNaN(got) {
+			t.Errorf("Digamma(%g) = %g, want NaN", x, got)
+		}
+	}
+}
+
+func TestLogChoose(t *testing.T) {
+	// Small cases against the exact binomial.
+	choose := func(n, k int) float64 {
+		c := 1.0
+		for i := 0; i < k; i++ {
+			c = c * float64(n-i) / float64(i+1)
+		}
+		return c
+	}
+	for n := 0; n <= 30; n++ {
+		for k := 0; k <= n; k++ {
+			want := math.Log(choose(n, k))
+			if got := LogChoose(n, k); math.Abs(got-want) > 1e-9*math.Max(1, math.Abs(want)) {
+				t.Errorf("LogChoose(%d,%d) = %g, want %g", n, k, got, want)
+			}
+		}
+	}
+	// Large arguments where the direct binomial overflows, against the
+	// independent log-sum ln C(n,k) = sum ln((n-k+i)/i).
+	logSum := func(n, k int) float64 {
+		var s float64
+		for i := 1; i <= k; i++ {
+			s += math.Log(float64(n-k+i)) - math.Log(float64(i))
+		}
+		return s
+	}
+	for _, nk := range [][2]int{{1000, 500}, {5000, 137}, {100000, 99999}} {
+		got, want := LogChoose(nk[0], nk[1]), logSum(nk[0], nk[1])
+		if math.Abs(got-want) > 1e-9*want {
+			t.Errorf("LogChoose(%d,%d) = %.10f, want %.10f", nk[0], nk[1], got, want)
+		}
+	}
+}
+
+func TestLogChooseEdges(t *testing.T) {
+	if got := LogChoose(5, -1); !math.IsInf(got, -1) {
+		t.Errorf("LogChoose(5,-1) = %g, want -Inf", got)
+	}
+	if got := LogChoose(5, 6); !math.IsInf(got, -1) {
+		t.Errorf("LogChoose(5,6) = %g, want -Inf", got)
+	}
+	if got := LogChoose(7, 0); got != 0 {
+		t.Errorf("LogChoose(7,0) = %g, want 0", got)
+	}
+	if got := LogChoose(7, 7); got != 0 {
+		t.Errorf("LogChoose(7,7) = %g, want 0", got)
+	}
+	// Symmetry C(n,k) = C(n,n-k).
+	if a, b := LogChoose(40, 13), LogChoose(40, 27); math.Abs(a-b) > 1e-10 {
+		t.Errorf("symmetry broken: %g vs %g", a, b)
+	}
+}
+
+func TestLogscaleBiasCorrection(t *testing.T) {
+	// g_j = psi(n/2)/ln2 - log2(n/2) directly from the definition.
+	for _, n := range []int{2, 4, 8, 64, 1024} {
+		half := float64(n) / 2
+		want := Digamma(half)/math.Ln2 - math.Log2(half)
+		if got := LogscaleBiasCorrection(n); math.Abs(got-want) > 1e-12 {
+			t.Errorf("LogscaleBiasCorrection(%d) = %g, want %g", n, got, want)
+		}
+	}
+	// The bias is negative (log2 of a chi-square average underestimates)
+	// and vanishes as n grows: psi(x) - ln x -> 0.
+	prev := math.Inf(-1)
+	for _, n := range []int{2, 8, 32, 128, 512, 4096} {
+		g := LogscaleBiasCorrection(n)
+		if g >= 0 {
+			t.Errorf("bias at n=%d is %g, want negative", n, g)
+		}
+		if g <= prev {
+			t.Errorf("bias not shrinking: g(%d)=%g after %g", n, g, prev)
+		}
+		prev = g
+	}
+	if g := LogscaleBiasCorrection(1 << 20); math.Abs(g) > 1e-5 {
+		t.Errorf("bias at n=2^20 is %g, want ~0", g)
+	}
+	if got := LogscaleBiasCorrection(0); !math.IsNaN(got) {
+		t.Errorf("LogscaleBiasCorrection(0) = %g, want NaN", got)
+	}
+	if got := LogscaleBiasCorrection(-3); !math.IsNaN(got) {
+		t.Errorf("LogscaleBiasCorrection(-3) = %g, want NaN", got)
+	}
+}
+
+func TestLogscaleVariance(t *testing.T) {
+	// zeta(2, n/2)/ln^2 2 ~ 2/(n ln^2 2) for large n.
+	for _, n := range []int{256, 1024, 4096} {
+		want := 2 / (float64(n) * math.Ln2 * math.Ln2)
+		got := LogscaleVariance(n)
+		if math.Abs(got-want) > 0.02*want {
+			t.Errorf("LogscaleVariance(%d) = %g, want ~%g", n, got, want)
+		}
+	}
+	// Exact small case: zeta(2, 1) = pi^2/6 at n = 2.
+	want := math.Pi * math.Pi / 6 / (math.Ln2 * math.Ln2)
+	if got := LogscaleVariance(2); math.Abs(got-want) > 0.05*want {
+		t.Errorf("LogscaleVariance(2) = %g, want ~%g (zeta(2,1)/ln^2 2)", got, want)
+	}
+	// Monotone decreasing in n: more coefficients, tighter ordinate.
+	prev := math.Inf(1)
+	for _, n := range []int{2, 4, 16, 64, 256} {
+		v := LogscaleVariance(n)
+		if v <= 0 || v >= prev {
+			t.Errorf("variance not positive-decreasing: v(%d)=%g after %g", n, v, prev)
+		}
+		prev = v
+	}
+	if got := LogscaleVariance(0); !math.IsInf(got, 1) {
+		t.Errorf("LogscaleVariance(0) = %g, want +Inf", got)
+	}
+}

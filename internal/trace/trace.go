@@ -58,18 +58,21 @@ func ReadPackets(r io.Reader) ([]traffic.Packet, error) {
 	if count > 1<<31 {
 		return nil, fmt.Errorf("trace: implausible packet count %d", count)
 	}
-	pkts := make([]traffic.Packet, count)
+	// Capacity is capped rather than trusted: a header can carry any
+	// CRC-consistent count, and allocating gigabytes before the first
+	// record is read would let a 20-byte input exhaust memory.
+	pkts := make([]traffic.Packet, 0, min(count, 1<<16))
 	var rec [16]byte
-	for i := range pkts {
+	for i := uint64(0); i < count; i++ {
 		if _, err := io.ReadFull(br, rec[:]); err != nil {
 			return nil, fmt.Errorf("trace: reading packet %d of %d: %w", i, count, err)
 		}
-		pkts[i] = traffic.Packet{
+		pkts = append(pkts, traffic.Packet{
 			Time: math.Float64frombits(binary.LittleEndian.Uint64(rec[0:8])),
 			Src:  binary.LittleEndian.Uint16(rec[8:10]),
 			Dst:  binary.LittleEndian.Uint16(rec[10:12]),
 			Size: binary.LittleEndian.Uint32(rec[12:16]),
-		}
+		})
 	}
 	return pkts, nil
 }
@@ -116,15 +119,17 @@ func ReadSeries(r io.Reader) (granularity float64, f []float64, err error) {
 		return 0, nil, fmt.Errorf("trace: reading granularity: %w", err)
 	}
 	granularity = math.Float64frombits(binary.LittleEndian.Uint64(buf[:]))
-	if granularity <= 0 || math.IsNaN(granularity) {
+	if granularity <= 0 || math.IsNaN(granularity) || math.IsInf(granularity, 1) {
 		return 0, nil, fmt.Errorf("trace: invalid granularity %g in header", granularity)
 	}
-	f = make([]float64, count)
-	for i := range f {
+	// Same allocation cap as ReadPackets: never size a buffer off an
+	// unverified header count.
+	f = make([]float64, 0, min(count, 1<<16))
+	for i := uint64(0); i < count; i++ {
 		if _, err := io.ReadFull(br, buf[:]); err != nil {
 			return 0, nil, fmt.Errorf("trace: reading bin %d of %d: %w", i, count, err)
 		}
-		f[i] = math.Float64frombits(binary.LittleEndian.Uint64(buf[:]))
+		f = append(f, math.Float64frombits(binary.LittleEndian.Uint64(buf[:])))
 	}
 	return granularity, f, nil
 }

@@ -153,6 +153,14 @@ func (e *Engine) Finish() ([]Sample, error) {
 	return tail, nil
 }
 
+// Finished reports whether Finish has been called — the cheap form of
+// Snapshot().Finished for callers that only need the lifecycle state.
+func (e *Engine) Finished() bool {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.finished
+}
+
 // Snapshot returns the engine's running summary: kept/seen counts, the
 // mean of the kept values and its 95% confidence interval. It never
 // finalizes anything and is safe to call concurrently while ticks flow;

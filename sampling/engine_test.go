@@ -331,3 +331,20 @@ func TestManyConcurrentObservers(t *testing.T) {
 		t.Errorf("seen %d, want %d", got, len(f))
 	}
 }
+
+func TestEngineFinished(t *testing.T) {
+	eng, err := New(MustParse("systematic:interval=2"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if eng.Finished() {
+		t.Error("fresh engine reports finished")
+	}
+	eng.Offer(1)
+	if _, err := eng.Finish(); err != nil {
+		t.Fatal(err)
+	}
+	if !eng.Finished() {
+		t.Error("finished engine reports live")
+	}
+}

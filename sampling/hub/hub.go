@@ -1,0 +1,327 @@
+// Package hub multiplexes many named sampling streams over live
+// engines — the concurrency layer between the single-stream
+// sampling.Engine and a measurement service watching thousands of
+// traffic streams at once.
+//
+// A Hub is lock-striped: stream ids hash onto a fixed set of shards,
+// each with its own mutex and stream table, so operations on unrelated
+// streams never contend on a shared lock. The engines themselves are
+// concurrent-safe, which keeps the shard locks to map lookups only: the
+// hot path (OfferBatch) holds a shard read lock just long enough to
+// resolve the id.
+//
+// Ticks within one stream must arrive in order, so each stream should
+// have a single writer, exactly as with a bare Engine; any number of
+// goroutines may snapshot concurrently. Streams that stop receiving
+// ticks are reaped by Sweep once they exceed the hub's idle TTL.
+package hub
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/sampling"
+)
+
+// The typed failure modes of stream lookup and creation; branch with
+// errors.Is. Engine construction failures keep their own types
+// (sampling.ErrUnknownTechnique, *sampling.ParamError).
+var (
+	// ErrStreamExists is wrapped by Create when the id is already live.
+	ErrStreamExists = errors.New("stream already exists")
+	// ErrStreamNotFound is wrapped by operations on unknown (or already
+	// finished, or evicted) stream ids.
+	ErrStreamNotFound = errors.New("stream not found")
+	// ErrInvalidID is wrapped by Create when the stream id is unusable
+	// (empty) — a caller mistake, not a lookup miss.
+	ErrInvalidID = errors.New("invalid stream id")
+)
+
+// stream is one live engine plus the bookkeeping the hub needs around
+// it. lastActive is atomic so the ingest path can stamp it and Sweep can
+// read it without taking any lock.
+type stream struct {
+	engine     *sampling.Engine
+	lastActive atomic.Int64 // unix nanoseconds of the last Create/OfferBatch
+}
+
+// shard is one stripe of the hub: a mutex-guarded stream table plus
+// cumulative tick/kept counters. The counters are atomics and survive
+// stream removal, so aggregate Stats stays cheap and monotonic.
+type shard struct {
+	mu      sync.RWMutex
+	streams map[string]*stream
+	ticks   atomic.Int64
+	kept    atomic.Int64
+}
+
+// Hub manages a set of named sampling streams across lock-striped
+// shards. The zero value is not usable; build hubs with New.
+type Hub struct {
+	shards  []shard
+	mask    uint64
+	clock   func() time.Time
+	ttl     time.Duration
+	start   time.Time
+	created atomic.Int64
+	evicted atomic.Int64
+}
+
+// Option configures a Hub at construction; see New.
+type Option func(*Hub)
+
+// WithShards sets the number of lock stripes, rounded up to a power of
+// two and clamped to [1, 65536]. The default of 64 keeps contention
+// negligible for thousands of streams; raise it only if profiles show
+// shard-lock waits.
+func WithShards(n int) Option {
+	return func(h *Hub) {
+		if n > 1<<16 {
+			n = 1 << 16
+		}
+		p := 1
+		for p < n {
+			p <<= 1
+		}
+		h.shards = make([]shard, p)
+	}
+}
+
+// WithIdleTTL sets the idle threshold used by Sweep: streams that have
+// not received ticks (or been created) for longer than ttl are evicted.
+// Zero, the default, disables eviction. Snapshots do not count as
+// activity — a stream kept alive only by its observers is dead.
+func WithIdleTTL(ttl time.Duration) Option {
+	return func(h *Hub) { h.ttl = ttl }
+}
+
+// WithClock substitutes the hub's time source (activity stamps, Stats
+// uptime). The default is time.Now; tests inject fake clocks to drive
+// eviction deterministically. Engines created by the hub share it.
+func WithClock(now func() time.Time) Option {
+	return func(h *Hub) { h.clock = now }
+}
+
+// New builds an empty hub.
+func New(opts ...Option) *Hub {
+	h := &Hub{clock: time.Now}
+	WithShards(64)(h)
+	for _, opt := range opts {
+		opt(h)
+	}
+	for i := range h.shards {
+		h.shards[i].streams = make(map[string]*stream)
+	}
+	h.mask = uint64(len(h.shards) - 1)
+	h.start = h.clock()
+	return h
+}
+
+// shardOf hashes a stream id onto its stripe (FNV-1a).
+func (h *Hub) shardOf(id string) *shard {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	hash := uint64(offset64)
+	for i := 0; i < len(id); i++ {
+		hash ^= uint64(id[i])
+		hash *= prime64
+	}
+	return &h.shards[hash&h.mask]
+}
+
+// get resolves a live stream (and its shard, so hot paths hash the id
+// exactly once) or fails with ErrStreamNotFound.
+func (h *Hub) get(id string) (*shard, *stream, error) {
+	sh := h.shardOf(id)
+	sh.mu.RLock()
+	st := sh.streams[id]
+	sh.mu.RUnlock()
+	if st == nil {
+		return nil, nil, fmt.Errorf("hub: stream %q: %w", id, ErrStreamNotFound)
+	}
+	return sh, st, nil
+}
+
+// Create builds a fresh engine from the spec (plus engine options, e.g.
+// sampling.WithSeed or WithBudget) and registers it under id. The id
+// must be non-empty and not yet live; engine construction failures pass
+// through with their types intact (sampling.ErrUnknownTechnique,
+// *sampling.ParamError), so a service can map them to client errors.
+func (h *Hub) Create(id string, spec sampling.Spec, opts ...sampling.Option) error {
+	if id == "" {
+		return fmt.Errorf("hub: empty stream id: %w", ErrInvalidID)
+	}
+	// The engine's snapshots must tick on the hub's clock so fake-clock
+	// tests see consistent time everywhere. Copy before appending: the
+	// caller's slice may have spare capacity we must not write into.
+	all := make([]sampling.Option, 0, len(opts)+1)
+	all = append(append(all, opts...), sampling.WithClock(h.clock))
+	eng, err := sampling.New(spec, all...)
+	if err != nil {
+		return err
+	}
+	st := &stream{engine: eng}
+	st.lastActive.Store(h.clock().UnixNano())
+	sh := h.shardOf(id)
+	sh.mu.Lock()
+	if _, dup := sh.streams[id]; dup {
+		sh.mu.Unlock()
+		return fmt.Errorf("hub: stream %q: %w", id, ErrStreamExists)
+	}
+	sh.streams[id] = st
+	sh.mu.Unlock()
+	h.created.Add(1)
+	return nil
+}
+
+// OfferBatch feeds a batch of ticks to a stream in order and returns
+// how many samples the batch finalized. It is the hot path: the shard
+// lock covers only the id lookup, and the per-tick work happens on the
+// engine's own lock. Ticks within one stream must come from a single
+// goroutine (batches from concurrent writers would interleave
+// unpredictably); batches for different streams run fully in parallel.
+func (h *Hub) OfferBatch(id string, values []float64) (kept int, err error) {
+	sh, st, err := h.get(id)
+	if err != nil {
+		return 0, err
+	}
+	for _, v := range values {
+		if _, ok := st.engine.Offer(v); ok {
+			kept++
+		}
+	}
+	// A concurrent Finish (or Sweep eviction) between the lookup and the
+	// offers turns Engine.Offer into a silent no-op; without this check
+	// the batch would report success and count ticks no engine saw.
+	if st.engine.Finished() {
+		return kept, fmt.Errorf("hub: stream %q: finished while offering: %w", id, ErrStreamNotFound)
+	}
+	st.lastActive.Store(h.clock().UnixNano())
+	sh.ticks.Add(int64(len(values)))
+	sh.kept.Add(int64(kept))
+	return kept, nil
+}
+
+// Snapshot returns the stream's live summary without disturbing it.
+func (h *Hub) Snapshot(id string) (sampling.Summary, error) {
+	_, st, err := h.get(id)
+	if err != nil {
+		return sampling.Summary{}, err
+	}
+	return st.engine.Snapshot(), nil
+}
+
+// Finish ends a stream: the engine is finalized, the samples only
+// decidable at end of stream (e.g. a simple random draw) are returned
+// together with the final summary, and the id is released for reuse. A
+// failed finalization (an engine deferred error) still removes the
+// stream and reports the error in both the return and the summary.
+func (h *Hub) Finish(id string) ([]sampling.Sample, sampling.Summary, error) {
+	sh := h.shardOf(id)
+	sh.mu.Lock()
+	st := sh.streams[id]
+	delete(sh.streams, id)
+	sh.mu.Unlock()
+	if st == nil {
+		return nil, sampling.Summary{}, fmt.Errorf("hub: stream %q: %w", id, ErrStreamNotFound)
+	}
+	tail, err := st.engine.Finish()
+	sh.kept.Add(int64(len(tail)))
+	return tail, st.engine.Snapshot(), err
+}
+
+// List returns the ids of every live stream, sorted.
+func (h *Hub) List() []string {
+	var out []string
+	for i := range h.shards {
+		sh := &h.shards[i]
+		sh.mu.RLock()
+		for id := range sh.streams {
+			out = append(out, id)
+		}
+		sh.mu.RUnlock()
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Len returns the number of live streams.
+func (h *Hub) Len() int {
+	n := 0
+	for i := range h.shards {
+		sh := &h.shards[i]
+		sh.mu.RLock()
+		n += len(sh.streams)
+		sh.mu.RUnlock()
+	}
+	return n
+}
+
+// Sweep evicts every stream idle for longer than the hub's TTL and
+// returns how many it removed. Evicted engines are finalized (their
+// end-of-stream samples are dropped — nobody is listening). With no TTL
+// configured Sweep is a no-op; a service calls it on a timer.
+func (h *Hub) Sweep() int {
+	if h.ttl <= 0 {
+		return 0
+	}
+	cutoff := h.clock().Add(-h.ttl).UnixNano()
+	var dead []*stream
+	for i := range h.shards {
+		sh := &h.shards[i]
+		sh.mu.Lock()
+		for id, st := range sh.streams {
+			if st.lastActive.Load() < cutoff {
+				delete(sh.streams, id)
+				dead = append(dead, st)
+			}
+		}
+		sh.mu.Unlock()
+	}
+	// Finalize outside the shard locks: Finish can do O(stream) work
+	// (simple random sampling drains its buffer) and must not stall
+	// unrelated streams of the same shard.
+	for _, st := range dead {
+		st.engine.Finish()
+	}
+	h.evicted.Add(int64(len(dead)))
+	return len(dead)
+}
+
+// Stats is the hub's aggregate state, shaped for metrics scraping:
+// cumulative monotonic counters (Ticks, Kept, Created, Evicted) plus
+// the current stream count and a lifetime average ingest rate.
+type Stats struct {
+	Streams     int           // live streams right now
+	Created     int64         // streams ever created
+	Evicted     int64         // streams removed by Sweep
+	Ticks       int64         // ticks offered over the hub's lifetime
+	Kept        int64         // samples kept over the hub's lifetime
+	Uptime      time.Duration // since New
+	TicksPerSec float64       // Ticks / Uptime — lifetime average
+}
+
+// Stats aggregates over the shards. Cost is O(shards), independent of
+// the number of streams, so it is safe to scrape at high frequency.
+func (h *Hub) Stats() Stats {
+	s := Stats{
+		Streams: h.Len(),
+		Created: h.created.Load(),
+		Evicted: h.evicted.Load(),
+		Uptime:  h.clock().Sub(h.start),
+	}
+	for i := range h.shards {
+		s.Ticks += h.shards[i].ticks.Load()
+		s.Kept += h.shards[i].kept.Load()
+	}
+	if sec := s.Uptime.Seconds(); sec > 0 {
+		s.TicksPerSec = float64(s.Ticks) / sec
+	}
+	return s
+}

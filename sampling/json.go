@@ -1,0 +1,160 @@
+package sampling
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math"
+	"time"
+)
+
+// specJSON is the wire form of a Spec: the technique name plus its raw
+// key=value parameters, exactly the typed structure (never the spec-string
+// syntax, which would re-tokenize values containing ',' or '=').
+type specJSON struct {
+	Technique string            `json:"technique"`
+	Params    map[string]string `json:"params,omitempty"`
+}
+
+// MarshalJSON renders the spec as {"technique": ..., "params": {...}}.
+// An empty parameter map is omitted, so Parse("systematic:interval=10")
+// and its round-trip through JSON stay byte-stable.
+func (s Spec) MarshalJSON() ([]byte, error) {
+	return json.Marshal(specJSON{Technique: s.Technique, Params: s.Params})
+}
+
+// UnmarshalJSON accepts both wire forms of a spec: the canonical object
+// {"technique": "bss", "params": {"rate": "1e-3"}} and, for convenience,
+// a plain string "bss:rate=1e-3" in the spec syntax (parsed with Parse,
+// so string-form errors wrap ErrBadSpec). The technique name must be
+// non-empty; parameter values are not validated here — New is the
+// validation point, exactly as with Parse.
+func (s *Spec) UnmarshalJSON(data []byte) error {
+	if len(data) > 0 && data[0] == '"' {
+		var str string
+		if err := json.Unmarshal(data, &str); err != nil {
+			return fmt.Errorf("sampling: spec string: %w", err)
+		}
+		spec, err := Parse(str)
+		if err != nil {
+			return err
+		}
+		*s = spec
+		return nil
+	}
+	var w specJSON
+	dec := json.NewDecoder(bytes.NewReader(data))
+	// Typos fail loudly, exactly as unknown spec parameters do: a
+	// misspelled "params" key must not silently drop every parameter.
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&w); err != nil {
+		return fmt.Errorf("sampling: spec object: %w", err)
+	}
+	if w.Technique == "" {
+		return fmt.Errorf("sampling: spec object has no technique: %w", ErrBadSpec)
+	}
+	*s = Spec{Technique: w.Technique, Params: w.Params}
+	return nil
+}
+
+// summaryJSON is the wire form of a Summary. The running moments are
+// pointers so the NaN states a live engine legitimately passes through
+// (mean before the first sample, variance and CI below two) become JSON
+// null instead of poisoning the document — encoding/json rejects NaN.
+type summaryJSON struct {
+	Technique string   `json:"technique"`
+	Spec      string   `json:"spec"`
+	Seen      int      `json:"seen"`
+	Kept      int      `json:"kept"`
+	Qualified int      `json:"qualified"`
+	Budget    int      `json:"budget"`
+	Mean      *float64 `json:"mean"`
+	Variance  *float64 `json:"variance"`
+	CILow     *float64 `json:"ci_low"`
+	CIHigh    *float64 `json:"ci_high"`
+	Finished  bool     `json:"finished"`
+	Err       string   `json:"error,omitempty"`
+	At        string   `json:"at"`
+	UptimeNS  int64    `json:"uptime_ns"`
+}
+
+// jsonNumber maps a possibly-NaN float to its wire form: nil for NaN
+// (serialized as null), the value otherwise. Infinities have no JSON
+// encoding either and no Summary field can legitimately produce one, but
+// they are mapped to null rather than failing the whole document.
+func jsonNumber(v float64) *float64 {
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return nil
+	}
+	return &v
+}
+
+// MarshalJSON renders the summary with NaN moments as null, the deferred
+// engine error as its message string, and At in RFC 3339 with nanosecond
+// precision. This is the document the sampled daemon serves from
+// GET /v1/streams/{id}/snapshot.
+func (s Summary) MarshalJSON() ([]byte, error) {
+	w := summaryJSON{
+		Technique: s.Technique,
+		Spec:      s.Spec,
+		Seen:      s.Seen,
+		Kept:      s.Kept,
+		Qualified: s.Qualified,
+		Budget:    s.Budget,
+		Mean:      jsonNumber(s.Mean),
+		Variance:  jsonNumber(s.Variance),
+		CILow:     jsonNumber(s.CILow),
+		CIHigh:    jsonNumber(s.CIHigh),
+		Finished:  s.Finished,
+		At:        s.At.Format(time.RFC3339Nano),
+		UptimeNS:  int64(s.Uptime),
+	}
+	if s.Err != nil {
+		w.Err = s.Err.Error()
+	}
+	return json.Marshal(w)
+}
+
+// UnmarshalJSON is the inverse of MarshalJSON: null moments come back as
+// NaN and a non-empty error string comes back as a plain error with the
+// same message (the concrete error type does not survive the wire, only
+// its text — compare messages, not errors.Is, across a round trip).
+func (s *Summary) UnmarshalJSON(data []byte) error {
+	var w summaryJSON
+	if err := json.Unmarshal(data, &w); err != nil {
+		return fmt.Errorf("sampling: summary: %w", err)
+	}
+	back := func(p *float64) float64 {
+		if p == nil {
+			return math.NaN()
+		}
+		return *p
+	}
+	out := Summary{
+		Technique: w.Technique,
+		Spec:      w.Spec,
+		Seen:      w.Seen,
+		Kept:      w.Kept,
+		Qualified: w.Qualified,
+		Budget:    w.Budget,
+		Mean:      back(w.Mean),
+		Variance:  back(w.Variance),
+		CILow:     back(w.CILow),
+		CIHigh:    back(w.CIHigh),
+		Finished:  w.Finished,
+		Uptime:    time.Duration(w.UptimeNS),
+	}
+	if w.Err != "" {
+		out.Err = errors.New(w.Err)
+	}
+	if w.At != "" {
+		at, err := time.Parse(time.RFC3339Nano, w.At)
+		if err != nil {
+			return fmt.Errorf("sampling: summary timestamp: %w", err)
+		}
+		out.At = at
+	}
+	*s = out
+	return nil
+}

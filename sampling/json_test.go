@@ -1,0 +1,152 @@
+package sampling
+
+import (
+	"encoding/json"
+	"math"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestSpecJSONRoundTrip(t *testing.T) {
+	cases := []Spec{
+		MustParse("systematic:interval=1000,offset=13"),
+		MustParse("bss:rate=1e-3,L=10,eps=1.0"),
+		MustParse("bernoulli:rate=0.01,seed=7"),
+		{Technique: "systematic"},
+		{Technique: "custom", Params: map[string]string{"odd value": "a=b,c"}},
+	}
+	for _, want := range cases {
+		data, err := json.Marshal(want)
+		if err != nil {
+			t.Fatalf("marshal %v: %v", want, err)
+		}
+		var got Spec
+		if err := json.Unmarshal(data, &got); err != nil {
+			t.Fatalf("unmarshal %s: %v", data, err)
+		}
+		if !got.Equal(want) {
+			t.Errorf("round trip changed the spec: %v -> %s -> %v", want, data, got)
+		}
+	}
+}
+
+func TestSpecJSONOmitsEmptyParams(t *testing.T) {
+	data, err := json.Marshal(Spec{Technique: "systematic"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(string(data), "params") {
+		t.Errorf("empty params serialized: %s", data)
+	}
+}
+
+func TestSpecJSONAcceptsStringForm(t *testing.T) {
+	var got Spec
+	if err := json.Unmarshal([]byte(`"bss:rate=1e-3,L=10"`), &got); err != nil {
+		t.Fatal(err)
+	}
+	want := MustParse("bss:rate=1e-3,L=10")
+	if !got.Equal(want) {
+		t.Errorf("string form parsed to %v, want %v", got, want)
+	}
+	if err := json.Unmarshal([]byte(`":broken"`), &got); err == nil {
+		t.Error("bad spec string unmarshaled without error")
+	}
+}
+
+func TestSpecJSONRejectsMissingTechnique(t *testing.T) {
+	var got Spec
+	if err := json.Unmarshal([]byte(`{"params":{"rate":"0.1"}}`), &got); err == nil {
+		t.Error("spec object without technique unmarshaled without error")
+	}
+}
+
+func TestSpecJSONRejectsUnknownFields(t *testing.T) {
+	var got Spec
+	// A typo'd "parms" key must fail loudly, not silently drop every
+	// parameter.
+	if err := json.Unmarshal([]byte(`{"technique":"systematic","parms":{"interval":"10"}}`), &got); err == nil {
+		t.Error("spec object with unknown field unmarshaled without error")
+	}
+}
+
+func TestSummaryJSONRoundTrip(t *testing.T) {
+	at := time.Date(2026, 7, 27, 12, 0, 0, 123456789, time.UTC)
+	eng, err := New(MustParse("systematic:interval=2"), WithClock(func() time.Time { return at }))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eng.Sample([]float64{1, 2, 3, 4, 5, 6}); err != nil {
+		t.Fatal(err)
+	}
+	want := eng.Snapshot()
+	data, err := json.Marshal(want)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got Summary
+	if err := json.Unmarshal(data, &got); err != nil {
+		t.Fatalf("unmarshal %s: %v", data, err)
+	}
+	if got.Technique != want.Technique || got.Spec != want.Spec ||
+		got.Seen != want.Seen || got.Kept != want.Kept ||
+		got.Qualified != want.Qualified || got.Budget != want.Budget ||
+		got.Mean != want.Mean || got.Variance != want.Variance ||
+		got.CILow != want.CILow || got.CIHigh != want.CIHigh ||
+		got.Finished != want.Finished || got.Uptime != want.Uptime ||
+		!got.At.Equal(want.At) {
+		t.Errorf("round trip changed the summary:\n got %+v\nwant %+v", got, want)
+	}
+}
+
+func TestSummaryJSONNaNBecomesNull(t *testing.T) {
+	s := Summary{Technique: "systematic", Mean: math.NaN(), Variance: math.NaN(),
+		CILow: math.NaN(), CIHigh: math.NaN(), At: time.Unix(0, 0).UTC()}
+	data, err := json.Marshal(s)
+	if err != nil {
+		t.Fatalf("NaN summary failed to marshal: %v", err)
+	}
+	for _, key := range []string{`"mean":null`, `"variance":null`, `"ci_low":null`, `"ci_high":null`} {
+		if !strings.Contains(string(data), key) {
+			t.Errorf("missing %s in %s", key, data)
+		}
+	}
+	var got Summary
+	if err := json.Unmarshal(data, &got); err != nil {
+		t.Fatal(err)
+	}
+	if !math.IsNaN(got.Mean) || !math.IsNaN(got.Variance) || !math.IsNaN(got.CILow) || !math.IsNaN(got.CIHigh) {
+		t.Errorf("null moments did not come back as NaN: %+v", got)
+	}
+}
+
+func TestSummaryJSONError(t *testing.T) {
+	eng, err := New(MustParse("simple:n=5"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A 3-tick stream cannot yield 5 simple random samples: Finish errors
+	// and the snapshot carries the deferred error.
+	eng.Offer(1)
+	eng.Offer(2)
+	eng.Offer(3)
+	if _, err := eng.Finish(); err == nil {
+		t.Fatal("expected a finish error")
+	}
+	want := eng.Snapshot()
+	data, err := json.Marshal(want)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got Summary
+	if err := json.Unmarshal(data, &got); err != nil {
+		t.Fatal(err)
+	}
+	if got.Err == nil || got.Err.Error() != want.Err.Error() {
+		t.Errorf("error round trip: got %v, want %v", got.Err, want.Err)
+	}
+	if !got.Finished {
+		t.Error("finished flag lost in round trip")
+	}
+}
