@@ -1,0 +1,269 @@
+// Command benchdiff is the benchmark-regression gate: it parses Go
+// benchmark output — plain `go test -bench` text or the `go test -json`
+// event stream — and compares the ns/op of every benchmark named in a
+// committed baseline, failing (exit 1) when any of them regresses by
+// more than the threshold.
+//
+// Repeated results for one benchmark (from -count=N or sub-benchmark
+// GOMAXPROCS variants) collapse to their minimum: the best observed run
+// is the least noisy estimate of the code's true cost, which makes the
+// gate resistant to scheduler hiccups without hiding real regressions.
+// The trailing -N GOMAXPROCS suffix is stripped, so baselines recorded
+// on one core count compare against runs on another.
+//
+// Usage:
+//
+//	go test -run='^$' -bench=BenchmarkHubOfferParallel -count=3 ./sampling/hub | tee bench.txt
+//	benchdiff -baseline bench_baseline.json -bench bench.txt
+//	benchdiff -baseline bench_baseline.json -bench bench.txt -write   # refresh the baseline
+//
+// Baselines are machine-specific absolute timings: refresh with -write
+// when the benchmark hardware changes, and keep the threshold generous
+// enough (the default 0.20 = 20%) to absorb run-to-run jitter.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(1)
+	}
+}
+
+// baseline is the committed gate file: the benchmarks under guard and
+// the regression threshold they are held to.
+type baseline struct {
+	Note       string                `json:"note,omitempty"`
+	Threshold  float64               `json:"threshold"`
+	Benchmarks map[string]*benchSpec `json:"benchmarks"`
+}
+
+type benchSpec struct {
+	NsPerOp float64 `json:"ns_per_op"`
+}
+
+// testEvent is the subset of the `go test -json` event stream benchdiff
+// cares about: the output lines, which carry the benchmark results, and
+// the package they belong to, which keys the name/timing re-pairing.
+type testEvent struct {
+	Action  string `json:"Action"`
+	Package string `json:"Package"`
+	Output  string `json:"Output"`
+}
+
+// The three line shapes benchmark output arrives in. Plain `go test
+// -bench` prints one line per result ("BenchmarkX-8  1000  12 ns/op");
+// under -json (which implies -v) the runner prints the bare benchmark
+// name on its own line/event and the timing columns on the next, so
+// the two must be re-paired.
+var (
+	resultLine = regexp.MustCompile(`^(Benchmark[^\s]+?)(-\d+)?\s+\d+\s+([0-9.eE+]+) ns/op`)
+	bareName   = regexp.MustCompile(`^(Benchmark[^\s]+?)(-\d+)?$`)
+	resultTail = regexp.MustCompile(`^\d+\s+([0-9.eE+]+) ns/op`)
+)
+
+// parseBench extracts best-of ns/op per benchmark name from r, which
+// may be plain `go test -bench` output or a `go test -json` stream
+// (events from concurrently tested packages may interleave; names are
+// paired with timings per package). The trailing -N GOMAXPROCS suffix
+// is stripped only when that is unambiguous: if two distinct raw names
+// collapse to the same stripped name (e.g. parameterized sub-benchmarks
+// BenchmarkX/size-1024 vs -4096), the raw names are kept so the gate
+// never conflates different benchmarks.
+func parseBench(r io.Reader) (map[string]float64, error) {
+	type raw struct {
+		full, stripped string
+		ns             float64
+	}
+	var results []raw
+	record := func(name, suffix, nsText, line string) error {
+		ns, err := strconv.ParseFloat(nsText, 64)
+		if err != nil {
+			return fmt.Errorf("bad ns/op in %q: %w", line, err)
+		}
+		results = append(results, raw{full: name + suffix, stripped: name, ns: ns})
+		return nil
+	}
+	pending := make(map[string]string) // package -> last bare benchmark name line
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	for sc.Scan() {
+		line, pkg := sc.Text(), ""
+		if strings.HasPrefix(line, "{") {
+			var ev testEvent
+			if err := json.Unmarshal([]byte(line), &ev); err != nil {
+				return nil, fmt.Errorf("bad -json event %q: %w", line, err)
+			}
+			if ev.Action != "output" {
+				continue
+			}
+			line, pkg = strings.TrimSuffix(ev.Output, "\n"), ev.Package
+		}
+		line = strings.TrimSpace(line)
+		switch {
+		case resultLine.MatchString(line):
+			m := resultLine.FindStringSubmatch(line)
+			if err := record(m[1], m[2], m[3], line); err != nil {
+				return nil, err
+			}
+		case bareName.MatchString(line):
+			pending[pkg] = line
+		case resultTail.MatchString(line) && pending[pkg] != "":
+			m := bareName.FindStringSubmatch(pending[pkg])
+			t := resultTail.FindStringSubmatch(line)
+			if err := record(m[1], m[2], t[1], line); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	// Resolve suffix ambiguity. A bare name plus one suffixed variant is
+	// the -cpu=1,N shape of a single benchmark and merges under the
+	// stripped name; two distinct non-empty suffixes mean genuinely
+	// different benchmarks (BenchmarkX/size-1024 vs -4096), which keep
+	// their raw names so the gate never conflates them.
+	suffixes := make(map[string]string) // stripped -> sole non-empty suffix, or "*" when >= 2
+	for _, r := range results {
+		suffix := strings.TrimPrefix(r.full, r.stripped)
+		if suffix == "" {
+			continue
+		}
+		if prev, seen := suffixes[r.stripped]; seen && prev != suffix {
+			suffixes[r.stripped] = "*"
+		} else if !seen {
+			suffixes[r.stripped] = suffix
+		}
+	}
+	out := make(map[string]float64)
+	for _, r := range results {
+		name := r.stripped
+		if suffixes[r.stripped] == "*" {
+			name = r.full
+		}
+		if best, seen := out[name]; !seen || r.ns < best {
+			out[name] = r.ns
+		}
+	}
+	return out, nil
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("benchdiff", flag.ContinueOnError)
+	var (
+		basePath  = fs.String("baseline", "bench_baseline.json", "committed baseline file")
+		benchPath = fs.String("bench", "-", "benchmark output to check (text or -json; - = stdin)")
+		threshold = fs.Float64("threshold", 0, "regression threshold as a fraction (0 = the baseline's, or 0.20)")
+		write     = fs.Bool("write", false, "rewrite the baseline's ns/op from the bench input instead of gating")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	var in io.Reader = os.Stdin
+	if *benchPath != "-" {
+		f, err := os.Open(*benchPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		in = f
+	}
+	results, err := parseBench(in)
+	if err != nil {
+		return err
+	}
+	if len(results) == 0 {
+		return fmt.Errorf("no benchmark results in %s", *benchPath)
+	}
+
+	data, err := os.ReadFile(*basePath)
+	if err != nil {
+		return err
+	}
+	var base baseline
+	if err := json.Unmarshal(data, &base); err != nil {
+		return fmt.Errorf("baseline %s: %w", *basePath, err)
+	}
+	if len(base.Benchmarks) == 0 {
+		return fmt.Errorf("baseline %s guards no benchmarks", *basePath)
+	}
+
+	if *write {
+		return rewrite(*basePath, &base, results, out)
+	}
+
+	tol := *threshold
+	if tol == 0 {
+		tol = base.Threshold
+	}
+	if tol <= 0 {
+		tol = 0.20
+	}
+
+	names := make([]string, 0, len(base.Benchmarks))
+	for name := range base.Benchmarks {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	var failures []string
+	for _, name := range names {
+		old := base.Benchmarks[name].NsPerOp
+		got, ok := results[name]
+		if !ok {
+			// A benchmark that vanished is a gate hole, not a pass.
+			failures = append(failures, fmt.Sprintf("%s: missing from bench output", name))
+			fmt.Fprintf(out, "MISSING %-50s baseline %12.1f ns/op\n", name, old)
+			continue
+		}
+		delta := got/old - 1
+		verdict := "ok"
+		if delta > tol {
+			verdict = "REGRESSED"
+			failures = append(failures, fmt.Sprintf("%s: %.1f -> %.1f ns/op (%+.1f%%, limit %+.0f%%)",
+				name, old, got, 100*delta, 100*tol))
+		}
+		fmt.Fprintf(out, "%-7s %-50s %12.1f -> %12.1f ns/op (%+6.1f%%)\n", verdict, name, old, got, 100*delta)
+	}
+	if len(failures) > 0 {
+		return fmt.Errorf("%d hot-path benchmark(s) regressed beyond %.0f%%:\n  %s",
+			len(failures), 100*tol, strings.Join(failures, "\n  "))
+	}
+	fmt.Fprintf(out, "gate clean: %d benchmarks within %.0f%% of baseline\n", len(names), 100*tol)
+	return nil
+}
+
+// rewrite refreshes the guarded benchmarks' ns/op in place, keeping the
+// guard set and threshold; every guarded benchmark must be present in
+// the input so a partial run cannot silently erode the baseline.
+func rewrite(path string, base *baseline, results map[string]float64, out io.Writer) error {
+	for name := range base.Benchmarks {
+		got, ok := results[name]
+		if !ok {
+			return fmt.Errorf("cannot rewrite: %s missing from bench output", name)
+		}
+		base.Benchmarks[name].NsPerOp = got
+	}
+	data, err := json.MarshalIndent(base, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "baseline %s rewritten with %d benchmarks\n", path, len(base.Benchmarks))
+	return nil
+}

@@ -1,0 +1,183 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const sampleText = `goos: linux
+goarch: amd64
+pkg: repro/sampling/hub
+cpu: whatever
+BenchmarkHubOfferParallel-8   	  230214	      5210 ns/op	       0 B/op	       0 allocs/op	  98255372 ticks/s
+BenchmarkHubOfferParallel-8   	  231000	      5100 ns/op	       0 B/op	       0 allocs/op	  99000000 ticks/s
+BenchmarkPublicEngineStream/Systematic-8     	     100	  11840000 ns/op
+PASS
+`
+
+func TestParseBenchTextTakesMinimum(t *testing.T) {
+	got, err := parseBench(strings.NewReader(sampleText))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got["BenchmarkHubOfferParallel"] != 5100 {
+		t.Errorf("HubOfferParallel = %g, want min 5100", got["BenchmarkHubOfferParallel"])
+	}
+	if got["BenchmarkPublicEngineStream/Systematic"] != 11840000 {
+		t.Errorf("sub-benchmark = %g, want 1.184e7", got["BenchmarkPublicEngineStream/Systematic"])
+	}
+}
+
+// TestParseBenchJSONEvents uses the real test2json shape: under -json
+// the benchmark name and its timing columns arrive as separate output
+// events, interleaved across packages, and must be re-paired per
+// package.
+func TestParseBenchJSONEvents(t *testing.T) {
+	lines := []string{
+		`{"Action":"run","Package":"repro/sampling/hub","Test":"BenchmarkHubOfferParallel"}`,
+		`{"Action":"output","Package":"repro/sampling/hub","Output":"BenchmarkHubOfferParallel\n"}`,
+		`{"Action":"output","Package":"repro/other","Output":"BenchmarkOther-8\n"}`,
+		`{"Action":"output","Package":"repro/sampling/hub","Output":"   19390\t     12391 ns/op\t  41320155 ticks/s\t       0 B/op\n"}`,
+		`{"Action":"output","Package":"repro/other","Output":"     100\t      77.5 ns/op\n"}`,
+		`{"Action":"output","Package":"repro/sampling/hub","Output":"PASS\n"}`,
+		// A combined single-line result (GOMAXPROCS suffix) still parses.
+		`{"Action":"output","Package":"repro/sampling/hub","Output":"BenchmarkHubOfferParallel-4   \t 1000\t 6000 ns/op\n"}`,
+	}
+	got, err := parseBench(strings.NewReader(strings.Join(lines, "\n")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got["BenchmarkHubOfferParallel"] != 6000 {
+		t.Errorf("HubOfferParallel = %v, want min 6000", got["BenchmarkHubOfferParallel"])
+	}
+	if got["BenchmarkOther"] != 77.5 {
+		t.Errorf("Other = %v, want 77.5", got["BenchmarkOther"])
+	}
+}
+
+// Distinct sub-benchmarks whose names end in -<digits> must not be
+// conflated by the GOMAXPROCS-suffix strip: with more than one raw
+// variant the raw names are kept.
+func TestParseBenchKeepsAmbiguousSuffixes(t *testing.T) {
+	text := "BenchmarkX/size-1024   \t 100\t 50 ns/op\nBenchmarkX/size-4096   \t 100\t 900 ns/op\n"
+	got, err := parseBench(strings.NewReader(text))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, conflated := got["BenchmarkX/size"]; conflated {
+		t.Fatalf("distinct sub-benchmarks conflated: %v", got)
+	}
+	if got["BenchmarkX/size-1024"] != 50 || got["BenchmarkX/size-4096"] != 900 {
+		t.Errorf("raw names not preserved: %v", got)
+	}
+}
+
+// writeFixtures drops a baseline and a bench-output file in a temp dir.
+func writeFixtures(t *testing.T, baselineNs float64, benchText string) (basePath, benchPath string) {
+	t.Helper()
+	dir := t.TempDir()
+	basePath = filepath.Join(dir, "baseline.json")
+	benchPath = filepath.Join(dir, "bench.txt")
+	base := baseline{
+		Threshold:  0.20,
+		Benchmarks: map[string]*benchSpec{"BenchmarkHubOfferParallel": {NsPerOp: baselineNs}},
+	}
+	data, err := json.Marshal(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(basePath, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(benchPath, []byte(benchText), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return basePath, benchPath
+}
+
+func TestGatePassesWithinThreshold(t *testing.T) {
+	// Baseline 5000, measured best 5100: +2%, inside 20%.
+	basePath, benchPath := writeFixtures(t, 5000, sampleText)
+	var buf bytes.Buffer
+	if err := run([]string{"-baseline", basePath, "-bench", benchPath}, &buf); err != nil {
+		t.Fatalf("gate failed within threshold: %v\n%s", err, buf.String())
+	}
+	if !strings.Contains(buf.String(), "gate clean") {
+		t.Errorf("missing clean verdict:\n%s", buf.String())
+	}
+}
+
+func TestGateFailsOnRegression(t *testing.T) {
+	// Baseline 4000, measured best 5100: +27.5%, beyond 20%.
+	basePath, benchPath := writeFixtures(t, 4000, sampleText)
+	var buf bytes.Buffer
+	err := run([]string{"-baseline", basePath, "-bench", benchPath}, &buf)
+	if err == nil || !strings.Contains(err.Error(), "regressed") {
+		t.Fatalf("err = %v, want regression failure\n%s", err, buf.String())
+	}
+	if !strings.Contains(buf.String(), "REGRESSED") {
+		t.Errorf("missing REGRESSED verdict:\n%s", buf.String())
+	}
+}
+
+func TestGateFailsOnMissingBenchmark(t *testing.T) {
+	basePath, benchPath := writeFixtures(t, 5000, "BenchmarkSomethingElse-8 10 99 ns/op\n")
+	var buf bytes.Buffer
+	if err := run([]string{"-baseline", basePath, "-bench", benchPath}, &buf); err == nil {
+		t.Fatal("a guarded benchmark vanished and the gate passed")
+	}
+}
+
+func TestGateHonorsThresholdFlag(t *testing.T) {
+	// +2% fails a 1% threshold.
+	basePath, benchPath := writeFixtures(t, 5000, sampleText)
+	var buf bytes.Buffer
+	if err := run([]string{"-baseline", basePath, "-bench", benchPath, "-threshold", "0.01"}, &buf); err == nil {
+		t.Fatal("2% drift passed a 1% threshold")
+	}
+	// An improvement never fails.
+	basePath, benchPath = writeFixtures(t, 50000, sampleText)
+	buf.Reset()
+	if err := run([]string{"-baseline", basePath, "-bench", benchPath, "-threshold", "0.01"}, &buf); err != nil {
+		t.Fatalf("a 10x improvement failed the gate: %v", err)
+	}
+}
+
+func TestWriteRefreshesBaseline(t *testing.T) {
+	basePath, benchPath := writeFixtures(t, 123, sampleText)
+	var buf bytes.Buffer
+	if err := run([]string{"-baseline", basePath, "-bench", benchPath, "-write"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(basePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var base baseline
+	if err := json.Unmarshal(data, &base); err != nil {
+		t.Fatal(err)
+	}
+	if got := base.Benchmarks["BenchmarkHubOfferParallel"].NsPerOp; got != 5100 {
+		t.Errorf("rewritten ns/op = %g, want 5100", got)
+	}
+	if base.Threshold != 0.20 {
+		t.Errorf("rewrite clobbered the threshold: %g", base.Threshold)
+	}
+	// After the rewrite the gate is clean by construction.
+	buf.Reset()
+	if err := run([]string{"-baseline", basePath, "-bench", benchPath}, &buf); err != nil {
+		t.Errorf("gate not clean against freshly written baseline: %v", err)
+	}
+}
+
+func TestEmptyInputRejected(t *testing.T) {
+	basePath, benchPath := writeFixtures(t, 5000, "no benchmarks here\n")
+	var buf bytes.Buffer
+	if err := run([]string{"-baseline", basePath, "-bench", benchPath}, &buf); err == nil {
+		t.Fatal("empty bench output accepted")
+	}
+}

@@ -6,9 +6,10 @@
 //
 // The v1 resource model:
 //
-//	PUT    /v1/streams/{id}           create: {"spec": "bss:rate=1e-3,L=10", "seed": 7, "budget": 0}
+//	PUT    /v1/streams/{id}           create: {"spec": "bss:rate=1e-3,L=10", "seed": 7, "budget": 0, "estimator": "aggvar"}
 //	POST   /v1/streams/{id}/ticks     ingest: JSON array of numbers, or whitespace-separated text
 //	GET    /v1/streams/{id}/snapshot  live summary (non-destructive)
+//	GET    /v1/streams/{id}/hurst     live Hurst block: pre- vs post-sampling H (streams created with "estimator")
 //	DELETE /v1/streams/{id}           finish: final summary + end-of-stream samples
 //	GET    /v1/streams                live stream ids
 //	GET    /metrics                   Prometheus text format
@@ -58,12 +59,13 @@ func main() {
 func run(ctx context.Context, args []string, ready chan<- net.Addr) error {
 	fs := flag.NewFlagSet("sampled", flag.ContinueOnError)
 	var (
-		addr    = fs.String("addr", ":8080", "listen address")
-		shards  = fs.Int("shards", 64, "hub lock stripes (rounded up to a power of two)")
-		ttl     = fs.Duration("ttl", 0, "evict streams idle for longer than this (0 = never)")
-		sweep   = fs.Duration("sweep-every", time.Minute, "idle-eviction sweep period (with -ttl)")
-		maxBody = fs.Int64("max-body", 32<<20, "request body cap in bytes")
-		drain   = fs.Duration("drain", 10*time.Second, "graceful-shutdown drain timeout")
+		addr       = fs.String("addr", ":8080", "listen address")
+		shards     = fs.Int("shards", 64, "hub lock stripes (rounded up to a power of two)")
+		ttl        = fs.Duration("ttl", 0, "evict streams idle for longer than this (0 = never)")
+		sweep      = fs.Duration("sweep-every", time.Minute, "idle-eviction sweep period (with -ttl)")
+		maxBody    = fs.Int64("max-body", 32<<20, "request body cap in bytes")
+		drain      = fs.Duration("drain", 10*time.Second, "graceful-shutdown drain timeout")
+		hurstEvery = fs.Duration("hurst-metrics-every", 10*time.Second, "refresh period of the O(streams) sampled_hurst_* aggregate on /metrics (0 = every scrape)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -97,7 +99,7 @@ func run(ctx context.Context, args []string, ready chan<- net.Addr) error {
 		}()
 	}
 
-	srv := &http.Server{Handler: newServer(h, *maxBody)}
+	srv := &http.Server{Handler: newServer(h, *maxBody, *hurstEvery)}
 	errc := make(chan error, 1)
 	go func() { errc <- srv.Serve(ln) }()
 

@@ -10,8 +10,11 @@ import (
 	"net/http"
 	"strconv"
 	"strings"
+	"sync"
+	"time"
 
 	"repro/sampling"
+	"repro/sampling/estimate"
 	"repro/sampling/hub"
 )
 
@@ -20,20 +23,32 @@ import (
 type server struct {
 	hub     *hub.Hub
 	maxBody int64
+
+	// The hub's Hurst aggregate costs O(streams) — one engine snapshot
+	// and regression per estimating stream — while every other /metrics
+	// figure is O(shards). Scrapes therefore reuse a cached aggregate
+	// for hurstEvery, so high-frequency scraping cannot stall ingest.
+	hurstEvery time.Duration
+	hurstMu    sync.Mutex
+	hurstAt    time.Time
+	hurstStats hub.HurstStats
 }
 
 // newServer builds the daemon's handler around an existing hub. maxBody
 // caps request bodies in bytes (0 means the default of 32 MiB) — an
 // ingest batch bigger than that should be split by the client anyway.
-func newServer(h *hub.Hub, maxBody int64) http.Handler {
+// hurstEvery is the refresh period of the O(streams) sampled_hurst_*
+// aggregate on /metrics; 0 recomputes on every scrape.
+func newServer(h *hub.Hub, maxBody int64, hurstEvery time.Duration) http.Handler {
 	if maxBody <= 0 {
 		maxBody = 32 << 20
 	}
-	s := &server{hub: h, maxBody: maxBody}
+	s := &server{hub: h, maxBody: maxBody, hurstEvery: hurstEvery}
 	mux := http.NewServeMux()
 	mux.HandleFunc("PUT /v1/streams/{id}", s.createStream)
 	mux.HandleFunc("POST /v1/streams/{id}/ticks", s.offerTicks)
 	mux.HandleFunc("GET /v1/streams/{id}/snapshot", s.snapshot)
+	mux.HandleFunc("GET /v1/streams/{id}/hurst", s.hurst)
 	mux.HandleFunc("DELETE /v1/streams/{id}", s.finishStream)
 	mux.HandleFunc("GET /v1/streams", s.listStreams)
 	mux.HandleFunc("GET /metrics", s.metrics)
@@ -52,6 +67,7 @@ func statusFor(err error) int {
 		return http.StatusConflict
 	case errors.Is(err, sampling.ErrUnknownTechnique),
 		errors.Is(err, sampling.ErrBadSpec),
+		errors.Is(err, sampling.ErrUnknownEstimator),
 		errors.Is(err, hub.ErrInvalidID),
 		errors.As(err, &pe):
 		return http.StatusBadRequest
@@ -82,12 +98,14 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 
 // createRequest is the body of PUT /v1/streams/{id}. The spec comes in
 // either wire form — the object {"technique": ..., "params": {...}} or
-// the spec string "bss:rate=1e-3,L=10" — and seed/budget map onto the
-// engine options of the public API.
+// the spec string "bss:rate=1e-3,L=10" — and seed/budget/estimator map
+// onto the engine options of the public API ("estimator" names an
+// online Hurst estimation method: aggvar, wavelet or rs).
 type createRequest struct {
-	Spec   sampling.Spec `json:"spec"`
-	Seed   *uint64       `json:"seed,omitempty"`
-	Budget int           `json:"budget,omitempty"`
+	Spec      sampling.Spec `json:"spec"`
+	Seed      *uint64       `json:"seed,omitempty"`
+	Budget    int           `json:"budget,omitempty"`
+	Estimator string        `json:"estimator,omitempty"`
 }
 
 // decodeStrict decodes exactly one JSON value from r, rejecting unknown
@@ -125,6 +143,9 @@ func (s *server) createStream(w http.ResponseWriter, r *http.Request) {
 	}
 	if req.Budget > 0 {
 		opts = append(opts, sampling.WithBudget(req.Budget))
+	}
+	if req.Estimator != "" {
+		opts = append(opts, sampling.WithEstimator(estimate.Method(req.Estimator)))
 	}
 	id := r.PathValue("id")
 	if err := s.hub.Create(id, req.Spec, opts...); err != nil {
@@ -214,6 +235,25 @@ func (s *server) snapshot(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, sum)
 }
 
+// hurst serves the stream's live Hurst block alone — the document a
+// self-similarity dashboard polls. A stream created without an
+// estimator has no such subresource: 404, same as a missing stream,
+// with a message saying which of the two it was.
+func (s *server) hurst(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	sum, err := s.hub.Snapshot(id)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	if sum.Hurst == nil {
+		writeJSON(w, http.StatusNotFound,
+			map[string]string{"error": fmt.Sprintf("stream %q has no estimator (create it with \"estimator\")", id)})
+		return
+	}
+	writeJSON(w, http.StatusOK, sum.Hurst)
+}
+
 // sampleJSON is the wire form of one kept sample.
 type sampleJSON struct {
 	Index     int     `json:"index"`
@@ -253,6 +293,19 @@ func (s *server) listStreams(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]any{"streams": ids, "count": len(ids)})
 }
 
+// hurstAggregate returns the hub's Hurst aggregate, recomputed at most
+// once per hurstEvery (staleness up to that period is inherent to the
+// gauge; the per-stream /hurst endpoint is always live).
+func (s *server) hurstAggregate() hub.HurstStats {
+	s.hurstMu.Lock()
+	defer s.hurstMu.Unlock()
+	if s.hurstAt.IsZero() || s.hurstEvery <= 0 || time.Since(s.hurstAt) >= s.hurstEvery {
+		s.hurstStats = s.hub.Hurst()
+		s.hurstAt = time.Now()
+	}
+	return s.hurstStats
+}
+
 // metrics renders the hub's aggregate stats in the Prometheus text
 // exposition format — counters are cumulative and monotonic, so rate()
 // over sampled_ticks_total gives live ingest throughput.
@@ -266,4 +319,17 @@ func (s *server) metrics(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintf(w, "# HELP sampled_samples_kept_total Samples kept across all streams.\n# TYPE sampled_samples_kept_total counter\nsampled_samples_kept_total %d\n", st.Kept)
 	fmt.Fprintf(w, "# HELP sampled_uptime_seconds Seconds since the hub started.\n# TYPE sampled_uptime_seconds gauge\nsampled_uptime_seconds %g\n", st.Uptime.Seconds())
 	fmt.Fprintf(w, "# HELP sampled_ticks_per_second_avg Lifetime average ingest rate.\n# TYPE sampled_ticks_per_second_avg gauge\nsampled_ticks_per_second_avg %g\n", st.TicksPerSec)
+	hs := s.hurstAggregate()
+	fmt.Fprintf(w, "# HELP sampled_hurst_streams_estimating Live streams carrying an online Hurst estimator.\n# TYPE sampled_hurst_streams_estimating gauge\nsampled_hurst_streams_estimating %d\n", hs.Estimating)
+	// The means are NaN until a stream resolves; emit them only once
+	// they carry a number so scrapes stay clean.
+	if hs.InputN > 0 {
+		fmt.Fprintf(w, "# HELP sampled_hurst_input_h_mean Mean pre-sampling Hurst estimate over resolved streams.\n# TYPE sampled_hurst_input_h_mean gauge\nsampled_hurst_input_h_mean %g\n", hs.MeanInputH)
+	}
+	if hs.KeptN > 0 {
+		fmt.Fprintf(w, "# HELP sampled_hurst_kept_h_mean Mean post-sampling Hurst estimate over resolved streams.\n# TYPE sampled_hurst_kept_h_mean gauge\nsampled_hurst_kept_h_mean %g\n", hs.MeanKeptH)
+	}
+	if hs.DriftN > 0 {
+		fmt.Fprintf(w, "# HELP sampled_hurst_drift_mean Mean kept-minus-input Hurst drift over resolved streams.\n# TYPE sampled_hurst_drift_mean gauge\nsampled_hurst_drift_mean %g\n", hs.MeanDrift)
+	}
 }

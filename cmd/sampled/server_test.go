@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"repro/internal/dist"
+	"repro/internal/lrd"
 	"repro/sampling"
 	"repro/sampling/hub"
 )
@@ -171,7 +172,7 @@ func TestEndToEnd(t *testing.T) {
 }
 
 func TestErrorMapping(t *testing.T) {
-	srv := httptest.NewServer(newServer(hub.New(), 0))
+	srv := httptest.NewServer(newServer(hub.New(), 0, 0))
 	defer srv.Close()
 	client := srv.Client()
 
@@ -208,7 +209,7 @@ func TestErrorMapping(t *testing.T) {
 }
 
 func TestTextIngestAndObjectSpec(t *testing.T) {
-	srv := httptest.NewServer(newServer(hub.New(), 0))
+	srv := httptest.NewServer(newServer(hub.New(), 0, 0))
 	defer srv.Close()
 	client := srv.Client()
 
@@ -279,7 +280,7 @@ func TestTextIngestAndObjectSpec(t *testing.T) {
 
 func TestListAndMetrics(t *testing.T) {
 	h := hub.New()
-	srv := httptest.NewServer(newServer(h, 0))
+	srv := httptest.NewServer(newServer(h, 0, 0))
 	defer srv.Close()
 	client := srv.Client()
 
@@ -316,7 +317,7 @@ func TestListAndMetrics(t *testing.T) {
 // TestOversizedBody checks that blowing the body cap is a 413 (split
 // the batch and retry), distinct from a malformed-body 400.
 func TestOversizedBody(t *testing.T) {
-	srv := httptest.NewServer(newServer(hub.New(), 128))
+	srv := httptest.NewServer(newServer(hub.New(), 128, 0))
 	defer srv.Close()
 	client := srv.Client()
 
@@ -349,7 +350,7 @@ func TestOversizedBody(t *testing.T) {
 // fields reach the engine: the seed overrides the spec's and the budget
 // caps kept samples.
 func TestBudgetAndSeedOptions(t *testing.T) {
-	srv := httptest.NewServer(newServer(hub.New(), 0))
+	srv := httptest.NewServer(newServer(hub.New(), 0, 0))
 	defer srv.Close()
 	client := srv.Client()
 
@@ -391,7 +392,7 @@ func TestBudgetAndSeedOptions(t *testing.T) {
 // 5-sample draw over a 3-tick stream) is still torn down by DELETE, and
 // the summary carries the error.
 func TestFinishErrorStillRemoves(t *testing.T) {
-	srv := httptest.NewServer(newServer(hub.New(), 0))
+	srv := httptest.NewServer(newServer(hub.New(), 0, 0))
 	defer srv.Close()
 	client := srv.Client()
 
@@ -416,5 +417,138 @@ func TestFinishErrorStillRemoves(t *testing.T) {
 	}
 	if code, _ = doJSON(t, client, http.MethodGet, srv.URL+"/v1/streams/s/snapshot", nil); code != http.StatusNotFound {
 		t.Errorf("stream survived failed finish: %d", code)
+	}
+}
+
+// TestHurstEndpoint drives the estimator surface over the wire: create
+// with an estimator, ingest LRD traffic, read the live Hurst block from
+// its endpoint and from the snapshot, and check the 404/400 edges.
+func TestHurstEndpoint(t *testing.T) {
+	h := hub.New()
+	srv := httptest.NewServer(newServer(h, 0, 0))
+	defer srv.Close()
+	client := srv.Client()
+
+	status, body := doJSON(t, client, http.MethodPut, srv.URL+"/v1/streams/lrd",
+		map[string]any{"spec": "systematic:interval=8", "estimator": "aggvar"})
+	if status != http.StatusCreated {
+		t.Fatalf("create: %d %s", status, body)
+	}
+	gen, err := lrd.NewFGN(0.8, 1<<13, 10, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	series := gen.Generate(dist.NewRand(31))
+	status, body = doJSON(t, client, http.MethodPost, srv.URL+"/v1/streams/lrd/ticks", series)
+	if status != http.StatusOK {
+		t.Fatalf("ticks: %d %s", status, body)
+	}
+
+	status, body = doJSON(t, client, http.MethodGet, srv.URL+"/v1/streams/lrd/hurst", nil)
+	if status != http.StatusOK {
+		t.Fatalf("hurst: %d %s", status, body)
+	}
+	var hs sampling.HurstSummary
+	if err := json.Unmarshal(body, &hs); err != nil {
+		t.Fatalf("hurst block %s: %v", body, err)
+	}
+	if hs.Method != "aggvar" || !hs.Input.OK {
+		t.Errorf("hurst block not resolved: %s", body)
+	}
+	if hs.Input.H < 0.5 || hs.Input.H > 1.0 {
+		t.Errorf("input H = %g, want LRD range for H=0.8 fGn", hs.Input.H)
+	}
+
+	// The snapshot document embeds the same block.
+	status, body = doJSON(t, client, http.MethodGet, srv.URL+"/v1/streams/lrd/snapshot", nil)
+	if status != http.StatusOK {
+		t.Fatalf("snapshot: %d %s", status, body)
+	}
+	var sum sampling.Summary
+	if err := json.Unmarshal(body, &sum); err != nil {
+		t.Fatal(err)
+	}
+	if sum.Hurst == nil || sum.Hurst.Input.H != hs.Input.H {
+		t.Errorf("snapshot hurst block disagrees with endpoint: %s", body)
+	}
+
+	// Metrics aggregate the estimating stream.
+	resp, err := client.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	metrics, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	for _, want := range []string{"sampled_hurst_streams_estimating 1", "sampled_hurst_input_h_mean", "sampled_hurst_drift_mean"} {
+		if !strings.Contains(string(metrics), want) {
+			t.Errorf("metrics missing %q:\n%s", want, metrics)
+		}
+	}
+
+	// A stream without an estimator has no hurst subresource.
+	status, _ = doJSON(t, client, http.MethodPut, srv.URL+"/v1/streams/plain",
+		map[string]any{"spec": "systematic:interval=8"})
+	if status != http.StatusCreated {
+		t.Fatal("plain create failed")
+	}
+	status, body = doJSON(t, client, http.MethodGet, srv.URL+"/v1/streams/plain/hurst", nil)
+	if status != http.StatusNotFound || !strings.Contains(string(body), "no estimator") {
+		t.Errorf("hurst on estimator-less stream: %d %s", status, body)
+	}
+	// Unknown stream: plain 404.
+	if status, _ = doJSON(t, client, http.MethodGet, srv.URL+"/v1/streams/ghost/hurst", nil); status != http.StatusNotFound {
+		t.Errorf("hurst on missing stream: %d", status)
+	}
+	// Unknown estimator name: 400 at create.
+	status, body = doJSON(t, client, http.MethodPut, srv.URL+"/v1/streams/bad",
+		map[string]any{"spec": "systematic:interval=8", "estimator": "psychic"})
+	if status != http.StatusBadRequest {
+		t.Errorf("unknown estimator: %d %s", status, body)
+	}
+}
+
+// TestMetricsHurstCache: the O(streams) Hurst aggregate on /metrics is
+// recomputed at most once per refresh period, so scraping cannot become
+// an ingest stall; a zero period always recomputes.
+func TestMetricsHurstCache(t *testing.T) {
+	h := hub.New()
+	srv := httptest.NewServer(newServer(h, 0, time.Hour))
+	defer srv.Close()
+	scrape := func() string {
+		t.Helper()
+		resp, err := srv.Client().Get(srv.URL + "/metrics")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		data, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(data)
+	}
+	if !strings.Contains(scrape(), "sampled_hurst_streams_estimating 0") {
+		t.Fatal("fresh hub should report 0 estimating streams")
+	}
+	status, body := doJSON(t, srv.Client(), http.MethodPut, srv.URL+"/v1/streams/s",
+		map[string]any{"spec": "systematic:interval=8", "estimator": "aggvar"})
+	if status != http.StatusCreated {
+		t.Fatalf("create: %d %s", status, body)
+	}
+	// Within the period the cached aggregate still shows 0.
+	if !strings.Contains(scrape(), "sampled_hurst_streams_estimating 0") {
+		t.Error("aggregate recomputed inside the refresh period")
+	}
+	// A zero period recomputes every scrape and sees the new stream.
+	live := httptest.NewServer(newServer(h, 0, 0))
+	defer live.Close()
+	resp, err := live.Client().Get(live.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if !strings.Contains(string(data), "sampled_hurst_streams_estimating 1") {
+		t.Errorf("uncached scrape missed the stream:\n%s", data)
 	}
 }

@@ -14,10 +14,18 @@
 // ingest phase alone is timed, so the report measures the service, not
 // the generator.
 //
+// With an online estimator attached (-estimator, default aggvar) every
+// stream also tracks the Hurst parameter of the traffic it ingests and
+// of the samples its technique keeps, and the run reports the aggregate
+// pre- vs post-sampling H and their drift — the paper's preservation
+// analysis as a live measurement. -estimator off disables it (and the
+// per-tick estimation cost) for pure throughput runs.
+//
 // Examples:
 //
 //	sampleload -direct -streams 256 -ticks 100000 -spec "bss:interval=100,L=5"
 //	sampleload -addr localhost:8080 -streams 32 -ticks 20000 -traffic onoff
+//	sampleload -direct -streams 64 -spec "systematic:interval=100" -estimator wavelet
 package main
 
 import (
@@ -27,6 +35,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"math"
 	"net/http"
 	"os"
 	"runtime"
@@ -39,6 +48,7 @@ import (
 	"repro/internal/lrd"
 	"repro/internal/traffic"
 	"repro/sampling"
+	"repro/sampling/estimate"
 	"repro/sampling/hub"
 )
 
@@ -51,16 +61,36 @@ func main() {
 
 // loadConfig parameterizes one load run.
 type loadConfig struct {
-	direct  bool
-	addr    string
-	streams int
-	ticks   int // per stream
-	batch   int
-	workers int
-	spec    string
-	traffic string // "fgn" or "onoff"
-	hurst   float64
-	seed    uint64
+	direct    bool
+	addr      string
+	streams   int
+	ticks     int // per stream
+	batch     int
+	workers   int
+	spec      string
+	traffic   string // "fgn" or "onoff"
+	hurst     float64
+	seed      uint64
+	estimator string // online Hurst estimator method; "" or "off" disables
+}
+
+// estimatorMethod resolves the config's estimator selection: the method
+// to attach, or "" when estimation is off.
+func (c loadConfig) estimatorMethod() estimate.Method {
+	if c.estimator == "" || c.estimator == "off" {
+		return ""
+	}
+	return estimate.Method(c.estimator)
+}
+
+// driftReport aggregates the per-stream Hurst blocks of one run: the
+// mean pre-sampling (input) H, the mean post-sampling (kept) H, and the
+// mean drift between them, each over the streams where the estimate
+// resolved.
+type driftReport struct {
+	method                estimate.Method
+	inputN, keptN, driftN int
+	inputH, keptH, driftH float64
 }
 
 // loadResult is what a run achieved.
@@ -68,6 +98,7 @@ type loadResult struct {
 	ticks   int64
 	kept    int64
 	elapsed time.Duration
+	drift   *driftReport // nil when the run had no estimator
 }
 
 func (r loadResult) ticksPerSec() float64 {
@@ -90,6 +121,8 @@ func run(args []string, out io.Writer) error {
 	fs.StringVar(&cfg.traffic, "traffic", "fgn", "traffic model: fgn or onoff")
 	fs.Float64Var(&cfg.hurst, "hurst", 0.8, "Hurst parameter of the generated traffic")
 	fs.Uint64Var(&cfg.seed, "seed", 1, "traffic generator seed")
+	fs.StringVar(&cfg.estimator, "estimator", "aggvar",
+		"per-stream online Hurst estimator (aggvar, wavelet, rs) or off")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -101,6 +134,20 @@ func run(args []string, out io.Writer) error {
 		res.ticks, res.elapsed.Round(time.Millisecond), res.ticksPerSec())
 	fmt.Fprintf(out, "kept:     %d samples (%.3g%% of ticks)\n",
 		res.kept, 100*float64(res.kept)/float64(res.ticks))
+	if dr := res.drift; dr != nil {
+		fmt.Fprintf(out, "hurst:    %s estimator, generated H %.2f\n", dr.method, cfg.hurst)
+		if dr.inputN > 0 {
+			fmt.Fprintf(out, "          input  H %.3f (%d/%d streams resolved)\n", dr.inputH, dr.inputN, cfg.streams)
+		} else {
+			fmt.Fprintf(out, "          input  H unresolved (stream too short to regress; raise -ticks)\n")
+		}
+		if dr.keptN > 0 {
+			fmt.Fprintf(out, "          kept   H %.3f (%d/%d streams resolved)\n", dr.keptH, dr.keptN, cfg.streams)
+			fmt.Fprintf(out, "          drift  %+.3f (post minus pre, %d streams)\n", dr.driftH, dr.driftN)
+		} else {
+			fmt.Fprintf(out, "          kept   H unresolved (too few kept samples; raise -ticks or the sampling rate)\n")
+		}
+	}
 	return nil
 }
 
@@ -108,16 +155,29 @@ func run(args []string, out io.Writer) error {
 // daemon. Per-stream call order matters (ticks must stay sequential);
 // different streams are driven fully in parallel.
 type driver interface {
-	create(id string, spec sampling.Spec) error
+	create(id string, spec sampling.Spec, estimator estimate.Method) error
 	offer(id string, batch []float64) (kept int, err error)
+	hurst(id string) (*sampling.HurstSummary, error)
 	finish(id string) error
 }
 
 type directDriver struct{ hub *hub.Hub }
 
-func (d directDriver) create(id string, spec sampling.Spec) error { return d.hub.Create(id, spec) }
+func (d directDriver) create(id string, spec sampling.Spec, estimator estimate.Method) error {
+	if estimator != "" {
+		return d.hub.Create(id, spec, sampling.WithEstimator(estimator))
+	}
+	return d.hub.Create(id, spec)
+}
 func (d directDriver) offer(id string, batch []float64) (int, error) {
 	return d.hub.OfferBatch(id, batch)
+}
+func (d directDriver) hurst(id string) (*sampling.HurstSummary, error) {
+	sum, err := d.hub.Snapshot(id)
+	if err != nil {
+		return nil, err
+	}
+	return sum.Hurst, nil
 }
 func (d directDriver) finish(id string) error {
 	// A deferred engine error (e.g. a fixed-size draw over a shorter
@@ -159,13 +219,29 @@ func (d httpDriver) do(method, url string, body []byte) ([]byte, error) {
 	return data, nil
 }
 
-func (d httpDriver) create(id string, spec sampling.Spec) error {
-	body, err := json.Marshal(map[string]any{"spec": spec})
+func (d httpDriver) create(id string, spec sampling.Spec, estimator estimate.Method) error {
+	req := map[string]any{"spec": spec}
+	if estimator != "" {
+		req["estimator"] = string(estimator)
+	}
+	body, err := json.Marshal(req)
 	if err != nil {
 		return err
 	}
 	_, err = d.do(http.MethodPut, d.base+"/v1/streams/"+id, body)
 	return err
+}
+
+func (d httpDriver) hurst(id string) (*sampling.HurstSummary, error) {
+	data, err := d.do(http.MethodGet, d.base+"/v1/streams/"+id+"/hurst", nil)
+	if err != nil {
+		return nil, err
+	}
+	var hs sampling.HurstSummary
+	if err := json.Unmarshal(data, &hs); err != nil {
+		return nil, err
+	}
+	return &hs, nil
 }
 
 func (d httpDriver) offer(id string, batch []float64) (int, error) {
@@ -248,6 +324,13 @@ func runLoad(cfg loadConfig, out io.Writer) (loadResult, error) {
 	if err != nil {
 		return loadResult{}, err
 	}
+	method := cfg.estimatorMethod()
+	if method != "" {
+		// Fail on a typo'd method before any stream exists.
+		if _, err := estimate.New(method); err != nil {
+			return loadResult{}, err
+		}
+	}
 	base, err := baseSeries(cfg)
 	if err != nil {
 		return loadResult{}, err
@@ -281,7 +364,7 @@ func runLoad(cfg loadConfig, out io.Writer) (loadResult, error) {
 		if seedable {
 			s = spec.With("seed", fmt.Sprint(cfg.seed+uint64(i)))
 		}
-		if err := d.create(ids[i], s); err != nil {
+		if err := d.create(ids[i], s, method); err != nil {
 			return loadResult{}, fmt.Errorf("creating %s: %w", ids[i], err)
 		}
 	}
@@ -349,10 +432,45 @@ func runLoad(cfg loadConfig, out io.Writer) (loadResult, error) {
 	if firstErr != nil {
 		return loadResult{}, firstErr
 	}
+	// Read the Hurst blocks before teardown: Finish removes the streams.
+	var dr *driftReport
+	if method != "" {
+		dr = &driftReport{method: method}
+		for _, id := range ids {
+			hs, err := d.hurst(id)
+			if err != nil {
+				return loadResult{}, fmt.Errorf("hurst %s: %w", id, err)
+			}
+			if hs == nil {
+				continue
+			}
+			if hs.Input.OK {
+				dr.inputN++
+				dr.inputH += hs.Input.H
+			}
+			if hs.Kept.OK {
+				dr.keptN++
+				dr.keptH += hs.Kept.H
+			}
+			if !math.IsNaN(hs.Drift) {
+				dr.driftN++
+				dr.driftH += hs.Drift
+			}
+		}
+		if dr.inputN > 0 {
+			dr.inputH /= float64(dr.inputN)
+		}
+		if dr.keptN > 0 {
+			dr.keptH /= float64(dr.keptN)
+		}
+		if dr.driftN > 0 {
+			dr.driftH /= float64(dr.driftN)
+		}
+	}
 	for _, id := range ids {
 		if err := d.finish(id); err != nil {
 			return loadResult{}, fmt.Errorf("finishing %s: %w", id, err)
 		}
 	}
-	return loadResult{ticks: totalTicks.Load(), kept: totalKept.Load(), elapsed: elapsed}, nil
+	return loadResult{ticks: totalTicks.Load(), kept: totalKept.Load(), elapsed: elapsed, drift: dr}, nil
 }

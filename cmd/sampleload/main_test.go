@@ -3,12 +3,14 @@ package main
 import (
 	"bytes"
 	"encoding/json"
+	"math"
 	"net/http"
 	"net/http/httptest"
 	"strings"
 	"testing"
 
 	"repro/sampling"
+	"repro/sampling/estimate"
 	"repro/sampling/hub"
 )
 
@@ -72,17 +74,30 @@ func fakeDaemon(h *hub.Hub) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("PUT /v1/streams/{id}", func(w http.ResponseWriter, r *http.Request) {
 		var req struct {
-			Spec sampling.Spec `json:"spec"`
+			Spec      sampling.Spec `json:"spec"`
+			Estimator string        `json:"estimator"`
 		}
 		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
 			http.Error(w, err.Error(), http.StatusBadRequest)
 			return
 		}
-		if err := h.Create(r.PathValue("id"), req.Spec); err != nil {
+		var opts []sampling.Option
+		if req.Estimator != "" {
+			opts = append(opts, sampling.WithEstimator(estimate.Method(req.Estimator)))
+		}
+		if err := h.Create(r.PathValue("id"), req.Spec, opts...); err != nil {
 			http.Error(w, err.Error(), http.StatusBadRequest)
 			return
 		}
 		w.WriteHeader(http.StatusCreated)
+	})
+	mux.HandleFunc("GET /v1/streams/{id}/hurst", func(w http.ResponseWriter, r *http.Request) {
+		sum, err := h.Snapshot(r.PathValue("id"))
+		if err != nil || sum.Hurst == nil {
+			http.Error(w, "no estimator", http.StatusNotFound)
+			return
+		}
+		json.NewEncoder(w).Encode(sum.Hurst)
 	})
 	mux.HandleFunc("POST /v1/streams/{id}/ticks", func(w http.ResponseWriter, r *http.Request) {
 		var values []float64
@@ -232,4 +247,101 @@ func BenchmarkDirectLoad(b *testing.B) {
 		rate = res.ticksPerSec()
 	}
 	b.ReportMetric(rate, "ticks/s")
+}
+
+// TestDirectLoadReportsDrift: with an estimator attached the run
+// resolves a pre-sampling H close to the generator's and reports a
+// finite drift — the paper's preservation readout from the load tool.
+func TestDirectLoadReportsDrift(t *testing.T) {
+	cfg := loadConfig{
+		direct:    true,
+		streams:   4,
+		ticks:     1 << 15,
+		batch:     1024,
+		workers:   2,
+		spec:      "systematic:interval=10",
+		traffic:   "fgn",
+		hurst:     0.8,
+		seed:      1,
+		estimator: "aggvar",
+	}
+	var buf bytes.Buffer
+	res, err := runLoad(cfg, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dr := res.drift
+	if dr == nil {
+		t.Fatal("no drift report despite estimator")
+	}
+	if dr.inputN != cfg.streams || dr.keptN != cfg.streams || dr.driftN != cfg.streams {
+		t.Fatalf("resolved counts (%d, %d, %d), want all %d", dr.inputN, dr.keptN, dr.driftN, cfg.streams)
+	}
+	if math.Abs(dr.inputH-cfg.hurst) > 0.15 {
+		t.Errorf("input H = %.3f, want ~%.2f", dr.inputH, cfg.hurst)
+	}
+	if math.Abs(dr.driftH-(dr.keptH-dr.inputH)) > 1e-9 {
+		t.Errorf("drift %.4f inconsistent with kept-input %.4f", dr.driftH, dr.keptH-dr.inputH)
+	}
+}
+
+// TestHTTPLoadReportsDrift drives the drift path over the wire,
+// including the GET /hurst round trip.
+func TestHTTPLoadReportsDrift(t *testing.T) {
+	h := hub.New()
+	srv := httptest.NewServer(fakeDaemon(h))
+	defer srv.Close()
+	cfg := loadConfig{
+		addr:      srv.URL,
+		streams:   2,
+		ticks:     1 << 14,
+		batch:     1024,
+		workers:   2,
+		spec:      "systematic:interval=10",
+		traffic:   "fgn",
+		hurst:     0.75,
+		seed:      3,
+		estimator: "wavelet",
+	}
+	var buf bytes.Buffer
+	res, err := runLoad(cfg, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.drift == nil || res.drift.inputN != cfg.streams {
+		t.Fatalf("drift not resolved over HTTP: %+v", res.drift)
+	}
+}
+
+func TestRunOutputIncludesHurst(t *testing.T) {
+	var buf bytes.Buffer
+	err := run([]string{"-direct", "-streams", "2", "-ticks", "32768", "-batch", "1024",
+		"-workers", "2", "-spec", "systematic:interval=10"}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"hurst:", "aggvar estimator", "input  H", "drift"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	// And -estimator off silences the block.
+	buf.Reset()
+	err = run([]string{"-direct", "-streams", "2", "-ticks", "1000", "-batch", "500",
+		"-workers", "1", "-spec", "systematic:interval=10", "-estimator", "off"}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(buf.String(), "hurst:") {
+		t.Errorf("-estimator off still printed a hurst block:\n%s", buf.String())
+	}
+}
+
+func TestBadEstimatorRejected(t *testing.T) {
+	var buf bytes.Buffer
+	if _, err := runLoad(loadConfig{direct: true, streams: 1, ticks: 64, batch: 64, workers: 1,
+		spec: "systematic:interval=10", traffic: "fgn", hurst: 0.8, estimator: "psychic"}, &buf); err == nil {
+		t.Error("unknown estimator accepted")
+	}
 }

@@ -21,6 +21,17 @@
 // over HTTP and reporting the achieved ticks/sec. Spec and Summary have
 // JSON wire forms for exactly this use.
 //
+// Engines built with sampling.WithEstimator carry the online
+// long-range-dependence subsystem (sampling/estimate): incremental
+// Hurst estimators — streaming aggregated variance over a dyadic
+// ladder, a pairwise-Haar Abry-Veitch cascade, a windowed R/S fallback
+// — consuming ticks in O(log n) memory with zero allocations on the
+// tick path, over both the input stream and the kept samples. Snapshot
+// then reports a Summary.Hurst block (pre-sampling H, post-sampling H
+// and their drift; undetermined values marshal as JSON null), the hub
+// aggregates it across streams, and the daemon serves it per stream on
+// GET /v1/streams/{id}/hurst.
+//
 // The implementation lives under internal/: the paper's contribution
 // (the three classic sampling techniques, Biased Systematic Sampling,
 // the SNC of Theorem 1, the average-variance theory of Theorem 2 and the

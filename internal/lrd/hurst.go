@@ -21,8 +21,10 @@ type HurstEstimate struct {
 // HurstAggVar estimates H with the aggregated-variance method: for a
 // self-similar series Var(f^(m)) ~ sigma^2 * m^(2H-2), so the slope of
 // log Var(f^(m)) against log m is 2H - 2 = -beta. Aggregation levels are
-// geometrically spaced between minM and maxM (inclusive); maxM <= 0 means
-// len(x)/16.
+// the dyadic grid m = 2^j clipped to [minM, maxM]; maxM <= 0 means
+// len(x)/16. The batch path drives the same dyadic ladder the streaming
+// StreamAggVar maintains, so the two share one regression core and agree
+// exactly on a complete series.
 func HurstAggVar(x []float64, minM, maxM int) (HurstEstimate, error) {
 	if minM < 1 {
 		minM = 1
@@ -33,31 +35,11 @@ func HurstAggVar(x []float64, minM, maxM int) (HurstEstimate, error) {
 	if maxM <= minM || len(x) < 64 {
 		return HurstEstimate{}, fmt.Errorf("lrd: aggregated variance needs len >= 64 and maxM > minM (len=%d, minM=%d, maxM=%d)", len(x), minM, maxM)
 	}
-	var lm, lv []float64
-	for m := minM; m <= maxM; m = nextLevel(m) {
-		agg, err := Aggregate(x, m)
-		if err != nil {
-			break
-		}
-		if len(agg) < 8 {
-			break
-		}
-		v := stats.Variance(agg)
-		if v <= 0 {
-			continue
-		}
-		lm = append(lm, math.Log(float64(m)))
-		lv = append(lv, math.Log(v))
+	var lad StreamAggVar
+	for _, v := range x {
+		lad.Tick(v)
 	}
-	if len(lm) < 3 {
-		return HurstEstimate{}, fmt.Errorf("lrd: aggregated variance produced only %d usable levels", len(lm))
-	}
-	fit, err := stats.FitLine(lm, lv)
-	if err != nil {
-		return HurstEstimate{}, fmt.Errorf("lrd: aggregated variance: %w", err)
-	}
-	h := 1 + fit.Slope/2
-	return HurstEstimate{H: h, Beta: BetaFromH(h), Method: "aggvar", Fit: fit}, nil
+	return lad.estimateRange(minM, maxM, 8)
 }
 
 // nextLevel advances aggregation levels by a factor ~1.5 so log-spacing is
@@ -200,10 +182,24 @@ func HurstWavelet(x []float64, opts WaveletOptions) (HurstEstimate, error) {
 	if jMax <= 0 || jMax > len(mu) {
 		jMax = len(mu)
 	}
+	return fitLogscale(mu, counts, jMin, jMax)
+}
+
+// fitLogscale is the Abry-Veitch regression core shared by the batch
+// pyramid estimator and the streaming Haar cascade: debias each octave's
+// log2 energy, weight by the inverse logscale variance, and fit
+// y_j = log2 mu_j - g(n_j) against j; the slope is 2H - 1. Octaves need
+// at least 8 coefficients and positive energy to enter.
+func fitLogscale(mu []float64, counts []int, jMin, jMax int) (HurstEstimate, error) {
+	if jMax > len(mu) {
+		jMax = len(mu)
+	}
 	var xs, ys, ws []float64
 	for j := jMin; j <= jMax; j++ {
 		n := counts[j-1]
-		if n < 8 || mu[j-1] <= 0 {
+		// Octaves whose energy is nonpositive (no logarithm) or infinite
+		// (overflow on pathological input) cannot enter the fit.
+		if n < 8 || mu[j-1] <= 0 || math.IsInf(mu[j-1], 0) {
 			continue
 		}
 		y := math.Log2(mu[j-1]) - stats.LogscaleBiasCorrection(n)

@@ -1,0 +1,231 @@
+package lrd
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/stats"
+)
+
+// maxStreamLevels bounds the dyadic ladders of the streaming estimators.
+// 2^48 ticks is far beyond any stream lifetime, and fixed-size arrays
+// keep the per-tick path free of allocations: a streaming estimator
+// costs O(log n) memory total and amortized O(1) work per tick.
+const maxStreamLevels = 48
+
+// halfBlock is one rung of a dyadic cascade: the sum over an open
+// half-block of 2^j ticks, waiting for its sibling.
+type halfBlock struct {
+	sum float64
+	has bool
+}
+
+// StreamAggVar is the streaming form of the aggregated-variance
+// estimator: a dyadic ladder of block sums where level j accumulates
+// the running variance of the means of consecutive 2^j-tick blocks.
+// Tick is allocation-free and amortized O(1) (worst case O(log n) on
+// power-of-two boundaries); Estimate regresses log Var(X^(m)) on log m
+// at any moment, exactly the batch HurstAggVar math over the dyadic
+// levels the ladder maintains.
+//
+// The zero value is ready to use. Not safe for concurrent use; wrap it
+// the way sampling.Engine wraps its sampler.
+type StreamAggVar struct {
+	// MinM is the smallest aggregation level entering the regression
+	// (rounded into the dyadic grid); zero means 1.
+	MinM int
+
+	n      int64
+	halves [maxStreamLevels]halfBlock
+	// accs[j] holds the means of completed 2^j-tick blocks; accs[0]
+	// sees every raw tick.
+	accs [maxStreamLevels]stats.Accumulator
+}
+
+// Tick folds the next observation into every aggregation level it
+// completes. It never allocates.
+func (s *StreamAggVar) Tick(v float64) {
+	s.n++
+	s.accs[0].Add(v)
+	sum := v
+	for j := 0; j < maxStreamLevels-1; j++ {
+		h := &s.halves[j]
+		if !h.has {
+			h.sum, h.has = sum, true
+			return
+		}
+		sum += h.sum
+		h.has = false
+		// sum now covers 2^(j+1) ticks; record the block mean.
+		s.accs[j+1].Add(sum / float64(int64(2)<<j))
+	}
+}
+
+// N returns the number of ticks consumed.
+func (s *StreamAggVar) N() int64 { return s.n }
+
+// Estimate fits the aggregated-variance regression over the levels the
+// stream has filled so far: dyadic m >= MinM with at least 16 completed
+// blocks — the same cutoff as the batch default maxM = n/16, so on a
+// complete series Estimate and HurstAggVar(x, MinM, 0) agree exactly.
+// It needs at least three usable levels (n >= 64 or so).
+func (s *StreamAggVar) Estimate() (HurstEstimate, error) {
+	minM := s.MinM
+	if minM < 1 {
+		minM = 1
+	}
+	return s.estimateRange(minM, 0, 16)
+}
+
+// estimateRange is the shared regression core: levels with dyadic
+// m in [minM, maxM] (maxM <= 0 means unbounded), at least minBlocks
+// completed blocks and positive variance enter the log-log fit. The
+// batch HurstAggVar drives a ladder over the whole series and calls
+// this with its explicit [minM, maxM] window.
+func (s *StreamAggVar) estimateRange(minM, maxM, minBlocks int) (HurstEstimate, error) {
+	if minBlocks < 8 {
+		minBlocks = 8
+	}
+	var lm, lv []float64
+	m := int64(1)
+	for j := 0; j < maxStreamLevels; j, m = j+1, m*2 {
+		if m < int64(minM) {
+			continue
+		}
+		if maxM > 0 && m > int64(maxM) {
+			break
+		}
+		acc := &s.accs[j]
+		if acc.N() < minBlocks {
+			break
+		}
+		v := acc.Variance()
+		// Nonpositive variances have no logarithm; infinite ones (value
+		// overflow on pathological input) would poison the regression.
+		if v <= 0 || math.IsInf(v, 0) {
+			continue
+		}
+		lm = append(lm, math.Log(float64(m)))
+		lv = append(lv, math.Log(v))
+	}
+	if len(lm) < 3 {
+		return HurstEstimate{}, fmt.Errorf("lrd: aggregated variance produced only %d usable levels", len(lm))
+	}
+	fit, err := stats.FitLine(lm, lv)
+	if err != nil {
+		return HurstEstimate{}, fmt.Errorf("lrd: aggregated variance: %w", err)
+	}
+	h := 1 + fit.Slope/2
+	return HurstEstimate{H: h, Beta: BetaFromH(h), Method: "aggvar", Fit: fit}, nil
+}
+
+// StreamWavelet is the streaming Abry-Veitch estimator: a pairwise Haar
+// cascade where each tick percolates up a ladder of approximation
+// coefficients, emitting one detail coefficient per completed pair. The
+// per-octave detail energies feed the same debiased logscale-diagram
+// regression as the batch HurstWavelet; the wavelet is Haar (one
+// vanishing moment), which suffices for stationary fGn-like input.
+// Tick is allocation-free and amortized O(1).
+//
+// The zero value is ready to use. Not safe for concurrent use.
+type StreamWavelet struct {
+	// JMin is the first octave entering the regression (1-based);
+	// zero means 3, the batch default.
+	JMin int
+
+	n      int64
+	halves [maxStreamLevels]halfBlock
+	// energy[j]/count[j] track the detail coefficients of octave j+1
+	// (slot 0 pairs raw ticks — the finest octave).
+	energy [maxStreamLevels]float64
+	count  [maxStreamLevels]int64
+}
+
+// Tick feeds the cascade one observation. It never allocates.
+func (s *StreamWavelet) Tick(v float64) {
+	s.n++
+	a := v
+	for j := 0; j < maxStreamLevels; j++ {
+		h := &s.halves[j]
+		if !h.has {
+			h.sum, h.has = a, true
+			return
+		}
+		d := (h.sum - a) / math.Sqrt2
+		s.energy[j] += d * d
+		s.count[j]++
+		a = (h.sum + a) / math.Sqrt2
+		h.has = false
+	}
+}
+
+// N returns the number of ticks consumed.
+func (s *StreamWavelet) N() int64 { return s.n }
+
+// Estimate fits the logscale diagram over every octave with at least 8
+// detail coefficients so far — the same regression, bias correction and
+// weighting as the batch HurstWavelet.
+func (s *StreamWavelet) Estimate() (HurstEstimate, error) {
+	jMin := s.JMin
+	if jMin < 1 {
+		jMin = 3
+	}
+	var mu []float64
+	var counts []int
+	for j := 0; j < maxStreamLevels && s.count[j] > 0; j++ {
+		mu = append(mu, s.energy[j]/float64(s.count[j]))
+		counts = append(counts, int(s.count[j]))
+	}
+	return fitLogscale(mu, counts, jMin, len(mu))
+}
+
+// StreamRS is the windowed rescaled-range fallback: a fixed ring of the
+// most recent ticks, re-analyzed on demand with the batch R/S
+// estimator. Tick is O(1) and allocation-free; Estimate costs
+// O(window log window) and is meant for the observation path, not the
+// ingest path. Unlike the ladder estimators it forgets history beyond
+// the window — the robust, assumption-light cross-check.
+type StreamRS struct {
+	window  []float64
+	scratch []float64
+	n       int64
+	pos     int
+}
+
+// NewStreamRS builds a windowed R/S estimator over the last window
+// ticks; window is clamped to at least 256 (the batch R/S regression
+// needs >= 3 block sizes, so 128 ticks alone cannot produce a fit) and
+// defaults to 4096 when <= 0.
+func NewStreamRS(window int) *StreamRS {
+	if window <= 0 {
+		window = 4096
+	}
+	if window < 256 {
+		window = 256
+	}
+	return &StreamRS{window: make([]float64, window), scratch: make([]float64, window)}
+}
+
+// Tick records the observation in the ring. It never allocates.
+func (s *StreamRS) Tick(v float64) {
+	s.window[s.pos] = v
+	s.pos++
+	if s.pos == len(s.window) {
+		s.pos = 0
+	}
+	s.n++
+}
+
+// N returns the number of ticks consumed.
+func (s *StreamRS) N() int64 { return s.n }
+
+// Estimate runs the batch R/S regression over the window contents in
+// arrival order (the full ring once filled, the prefix before that).
+func (s *StreamRS) Estimate() (HurstEstimate, error) {
+	if s.n < int64(len(s.window)) {
+		return HurstRS(s.window[:s.n])
+	}
+	k := copy(s.scratch, s.window[s.pos:])
+	copy(s.scratch[k:], s.window[:s.pos])
+	return HurstRS(s.scratch)
+}

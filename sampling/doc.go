@@ -48,6 +48,31 @@
 // engine over a whole series, so streaming and batch output are
 // identical by construction.
 //
+// # Online Hurst estimation
+//
+// WithEstimator attaches the sampling/estimate subsystem to an engine:
+// two incremental Hurst estimators of the named method ("aggvar",
+// "wavelet" or "rs"; unknown names wrap ErrUnknownEstimator), one over
+// every offered tick and one over the kept sample values. Snapshot then
+// carries a Summary.Hurst block — the paper's preservation question as
+// a live reading:
+//
+//	eng, err := sampling.New(spec, sampling.WithEstimator(estimate.AggVar))
+//	...
+//	if hs := eng.Snapshot().Hurst; hs != nil && hs.Input.OK {
+//	    log.Printf("input H %.3f, kept H %.3f, drift %+.3f", hs.Input.H, hs.Kept.H, hs.Drift)
+//	}
+//
+// Estimator ticks are allocation-free and O(log n) worst case, so the
+// option is safe on the ingest hot path; the regression itself runs
+// only when a snapshot is taken. On the wire the block appears under
+// "hurst" with undetermined values as null, e.g.
+//
+//	"hurst": {"method": "aggvar",
+//	          "input": {"h": 0.79, "beta": 0.42, "levels": 11, "ticks": 262144, "ok": true},
+//	          "kept":  {"h": null, "beta": null, "levels": 0, "ticks": 131, "ok": false},
+//	          "drift": null}
+//
 // # Beyond the engine
 //
 // The rest of the paper's toolkit is exported alongside: the evaluation

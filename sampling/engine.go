@@ -9,6 +9,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/stats"
+	"repro/sampling/estimate"
 )
 
 // Sample is one selected observation of the parent process.
@@ -36,6 +37,12 @@ type Engine struct {
 	kept      int
 	qualified int
 	acc       stats.Accumulator // over kept sample values
+
+	// Optional online Hurst estimators (WithEstimator): estIn consumes
+	// every offered tick, estKept the kept sample values, so a snapshot
+	// can report pre- vs post-sampling H side by side.
+	estIn   estimate.Estimator
+	estKept estimate.Estimator
 
 	finished  bool
 	finishErr error
@@ -66,14 +73,25 @@ func New(spec Spec, opts ...Option) (*Engine, error) {
 		return nil, err
 	}
 	now := cfg.clock()
-	return &Engine{
+	e := &Engine{
 		spec:       spec,
 		specString: spec.String(),
 		impl:       impl,
 		clock:      cfg.clock,
 		start:      now,
 		budget:     cfg.budget,
-	}, nil
+	}
+	if cfg.estimator != "" {
+		// Already validated by WithEstimator; the two instances keep the
+		// input and kept-sample streams strictly separate.
+		if e.estIn, err = estimate.New(cfg.estimator); err != nil {
+			return nil, err
+		}
+		if e.estKept, err = estimate.New(cfg.estimator); err != nil {
+			return nil, err
+		}
+	}
+	return e, nil
 }
 
 // Technique returns the engine's technique name.
@@ -101,6 +119,9 @@ func (e *Engine) Offer(value float64) (Sample, bool) {
 	}
 	idx := e.seen
 	e.seen++
+	if e.estIn != nil {
+		e.estIn.Tick(value)
+	}
 	smp, ok := e.impl.Offer(idx, value)
 	if !ok {
 		return Sample{}, false
@@ -115,6 +136,9 @@ func (e *Engine) Offer(value float64) (Sample, bool) {
 func (e *Engine) record(s Sample) {
 	e.kept++
 	e.acc.Add(s.Value)
+	if e.estKept != nil {
+		e.estKept.Tick(s.Value)
+	}
 	if s.Qualified {
 		e.qualified++
 	}
@@ -184,6 +208,9 @@ func (e *Engine) Snapshot() Summary {
 		Uptime:    now.Sub(e.start),
 	}
 	s.CILow, s.CIHigh = ci95(&e.acc)
+	if e.estIn != nil {
+		s.Hurst = newHurstSummary(e.estIn.Estimate(), e.estKept.Estimate())
+	}
 	return s
 }
 

@@ -1,6 +1,9 @@
 package sampling
 
-import "repro/internal/core"
+import (
+	"repro/internal/core"
+	"repro/sampling/estimate"
+)
 
 // The typed failure modes of Parse and New. They alias the internal
 // registry's errors so a *ParamError produced deep inside a factory
@@ -12,6 +15,9 @@ var (
 	// ErrBadSpec is wrapped by errors from Parse when the spec string
 	// does not follow the "name:key=val,key=val" syntax.
 	ErrBadSpec = core.ErrBadSpec
+	// ErrUnknownEstimator is wrapped by errors from New when
+	// WithEstimator names no registered estimation method.
+	ErrUnknownEstimator = estimate.ErrUnknownMethod
 )
 
 // ParamError reports a spec parameter the technique rejected: a value

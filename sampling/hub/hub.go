@@ -19,6 +19,7 @@ package hub
 import (
 	"errors"
 	"fmt"
+	"math"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -305,6 +306,69 @@ type Stats struct {
 	Kept        int64         // samples kept over the hub's lifetime
 	Uptime      time.Duration // since New
 	TicksPerSec float64       // Ticks / Uptime — lifetime average
+}
+
+// HurstStats aggregates the live long-range-dependence estimates over
+// every stream built with sampling.WithEstimator: how many streams are
+// estimating, how many have resolved on each side, and the mean input
+// H, kept H and drift over the resolved streams. Means are NaN while
+// their count is zero.
+type HurstStats struct {
+	Estimating int     // live streams carrying an estimator
+	InputN     int     // streams whose input-side estimate has resolved
+	KeptN      int     // streams whose kept-side estimate has resolved
+	DriftN     int     // streams where both sides (hence drift) resolved
+	MeanInputH float64 // mean pre-sampling H over InputN streams
+	MeanKeptH  float64 // mean post-sampling H over KeptN streams
+	MeanDrift  float64 // mean (kept - input) H over DriftN streams
+}
+
+// Hurst walks every live stream and folds its Hurst block into the
+// aggregate. Cost is O(streams) — one engine snapshot each, taken
+// outside the shard locks — so scrape it at dashboard frequency, not
+// per request.
+func (h *Hub) Hurst() HurstStats {
+	st := HurstStats{MeanInputH: math.NaN(), MeanKeptH: math.NaN(), MeanDrift: math.NaN()}
+	var sumIn, sumKept, sumDrift float64
+	var engines []*sampling.Engine
+	for i := range h.shards {
+		sh := &h.shards[i]
+		sh.mu.RLock()
+		engines = engines[:0]
+		for _, s := range sh.streams {
+			engines = append(engines, s.engine)
+		}
+		sh.mu.RUnlock()
+		for _, eng := range engines {
+			hs := eng.Snapshot().Hurst
+			if hs == nil {
+				continue
+			}
+			st.Estimating++
+			if hs.Input.OK {
+				st.InputN++
+				sumIn += hs.Input.H
+			}
+			if hs.Kept.OK {
+				st.KeptN++
+				sumKept += hs.Kept.H
+			}
+			if !math.IsNaN(hs.Drift) {
+				st.DriftN++
+				sumDrift += hs.Drift
+			}
+		}
+	}
+	if st.InputN > 0 {
+		st.MeanInputH = sumIn / float64(st.InputN)
+	}
+	if st.KeptN > 0 {
+		st.MeanKeptH = sumKept / float64(st.KeptN)
+	}
+	if st.DriftN > 0 {
+		st.MeanDrift = sumDrift / float64(st.DriftN)
+	}
+	return st
 }
 
 // Stats aggregates over the shards. Cost is O(shards), independent of

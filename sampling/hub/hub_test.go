@@ -10,7 +10,9 @@ import (
 	"time"
 
 	"repro/internal/dist"
+	"repro/internal/lrd"
 	"repro/sampling"
+	"repro/sampling/estimate"
 	"repro/sampling/hub"
 )
 
@@ -360,5 +362,70 @@ func BenchmarkHubOfferParallel(b *testing.B) {
 	b.StopTimer()
 	if sec := b.Elapsed().Seconds(); sec > 0 {
 		b.ReportMetric(float64(b.N)*batch/sec, "ticks/s")
+	}
+}
+
+// TestHubHurstAggregate: streams created with estimators roll up into
+// Hub.Hurst, streams without estimators do not, and the means track the
+// per-stream blocks.
+func TestHubHurstAggregate(t *testing.T) {
+	h := hub.New()
+	gen, err := lrd.NewFGN(0.8, 1<<13, 10, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	series := gen.Generate(dist.NewRand(42))
+	for i := 0; i < 3; i++ {
+		id := fmt.Sprintf("est-%d", i)
+		if err := h.Create(id, sampling.MustParse("systematic:interval=8"),
+			sampling.WithEstimator(estimate.AggVar)); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := h.OfferBatch(id, series); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := h.Create("plain", sampling.MustParse("systematic:interval=8")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := h.OfferBatch("plain", series); err != nil {
+		t.Fatal(err)
+	}
+	st := h.Hurst()
+	if st.Estimating != 3 {
+		t.Errorf("Estimating = %d, want 3 (plain stream must not count)", st.Estimating)
+	}
+	if st.InputN != 3 || st.KeptN != 3 || st.DriftN != 3 {
+		t.Fatalf("resolved counts = (%d, %d, %d), want all 3", st.InputN, st.KeptN, st.DriftN)
+	}
+	// All three streams saw the same series, so the mean equals the
+	// per-stream value.
+	sum, err := h.Snapshot("est-0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(st.MeanInputH-sum.Hurst.Input.H) > 1e-12 ||
+		math.Abs(st.MeanKeptH-sum.Hurst.Kept.H) > 1e-12 ||
+		math.Abs(st.MeanDrift-sum.Hurst.Drift) > 1e-12 {
+		t.Errorf("aggregate %+v disagrees with per-stream block %+v", st, *sum.Hurst)
+	}
+	if math.Abs(st.MeanInputH-0.8) > 0.15 {
+		t.Errorf("MeanInputH = %g, want ~0.8", st.MeanInputH)
+	}
+}
+
+// TestHubHurstEmpty: with no estimating streams the counts are zero and
+// the means are NaN, never a division artifact.
+func TestHubHurstEmpty(t *testing.T) {
+	h := hub.New()
+	if err := h.Create("plain", sampling.MustParse("systematic:interval=8")); err != nil {
+		t.Fatal(err)
+	}
+	st := h.Hurst()
+	if st.Estimating != 0 || st.InputN != 0 || st.KeptN != 0 || st.DriftN != 0 {
+		t.Errorf("zero-state counts wrong: %+v", st)
+	}
+	if !math.IsNaN(st.MeanInputH) || !math.IsNaN(st.MeanKeptH) || !math.IsNaN(st.MeanDrift) {
+		t.Errorf("zero-state means should be NaN: %+v", st)
 	}
 }

@@ -7,6 +7,8 @@ import (
 	"fmt"
 	"math"
 	"time"
+
+	"repro/sampling/estimate"
 )
 
 // specJSON is the wire form of a Spec: the technique name plus its raw
@@ -63,20 +65,21 @@ func (s *Spec) UnmarshalJSON(data []byte) error {
 // (mean before the first sample, variance and CI below two) become JSON
 // null instead of poisoning the document — encoding/json rejects NaN.
 type summaryJSON struct {
-	Technique string   `json:"technique"`
-	Spec      string   `json:"spec"`
-	Seen      int      `json:"seen"`
-	Kept      int      `json:"kept"`
-	Qualified int      `json:"qualified"`
-	Budget    int      `json:"budget"`
-	Mean      *float64 `json:"mean"`
-	Variance  *float64 `json:"variance"`
-	CILow     *float64 `json:"ci_low"`
-	CIHigh    *float64 `json:"ci_high"`
-	Finished  bool     `json:"finished"`
-	Err       string   `json:"error,omitempty"`
-	At        string   `json:"at"`
-	UptimeNS  int64    `json:"uptime_ns"`
+	Technique string        `json:"technique"`
+	Spec      string        `json:"spec"`
+	Seen      int           `json:"seen"`
+	Kept      int           `json:"kept"`
+	Qualified int           `json:"qualified"`
+	Budget    int           `json:"budget"`
+	Mean      *float64      `json:"mean"`
+	Variance  *float64      `json:"variance"`
+	CILow     *float64      `json:"ci_low"`
+	CIHigh    *float64      `json:"ci_high"`
+	Finished  bool          `json:"finished"`
+	Err       string        `json:"error,omitempty"`
+	Hurst     *HurstSummary `json:"hurst,omitempty"`
+	At        string        `json:"at"`
+	UptimeNS  int64         `json:"uptime_ns"`
 }
 
 // jsonNumber maps a possibly-NaN float to its wire form: nil for NaN
@@ -107,6 +110,7 @@ func (s Summary) MarshalJSON() ([]byte, error) {
 		CILow:     jsonNumber(s.CILow),
 		CIHigh:    jsonNumber(s.CIHigh),
 		Finished:  s.Finished,
+		Hurst:     s.Hurst,
 		At:        s.At.Format(time.RFC3339Nano),
 		UptimeNS:  int64(s.Uptime),
 	}
@@ -114,6 +118,69 @@ func (s Summary) MarshalJSON() ([]byte, error) {
 		w.Err = s.Err.Error()
 	}
 	return json.Marshal(w)
+}
+
+// hurstPointJSON is the wire form of one HurstPoint: h and beta are
+// pointers so the NaN of a not-yet-determined estimate becomes JSON
+// null, matching the summary's moment fields.
+type hurstPointJSON struct {
+	H      *float64 `json:"h"`
+	Beta   *float64 `json:"beta"`
+	Levels int      `json:"levels"`
+	Ticks  int64    `json:"ticks"`
+	OK     bool     `json:"ok"`
+}
+
+// hurstJSON is the wire form of a HurstSummary — the document served
+// whole by GET /v1/streams/{id}/hurst and nested under "hurst" in a
+// snapshot.
+type hurstJSON struct {
+	Method string         `json:"method"`
+	Input  hurstPointJSON `json:"input"`
+	Kept   hurstPointJSON `json:"kept"`
+	Drift  *float64       `json:"drift"`
+}
+
+// MarshalJSON renders the Hurst block with undetermined estimates (and
+// the drift before both sides resolve) as null, never NaN.
+func (h HurstSummary) MarshalJSON() ([]byte, error) {
+	point := func(p HurstPoint) hurstPointJSON {
+		return hurstPointJSON{H: jsonNumber(p.H), Beta: jsonNumber(p.Beta),
+			Levels: p.Levels, Ticks: p.Ticks, OK: p.OK}
+	}
+	return json.Marshal(hurstJSON{
+		Method: string(h.Method),
+		Input:  point(h.Input),
+		Kept:   point(h.Kept),
+		Drift:  jsonNumber(h.Drift),
+	})
+}
+
+// UnmarshalJSON is the inverse of MarshalJSON: nulls come back as NaN.
+func (h *HurstSummary) UnmarshalJSON(data []byte) error {
+	var w hurstJSON
+	if err := json.Unmarshal(data, &w); err != nil {
+		return fmt.Errorf("sampling: hurst summary: %w", err)
+	}
+	back := func(p hurstPointJSON) HurstPoint {
+		return HurstPoint{H: backNumber(p.H), Beta: backNumber(p.Beta),
+			Levels: p.Levels, Ticks: p.Ticks, OK: p.OK}
+	}
+	*h = HurstSummary{
+		Method: estimate.Method(w.Method),
+		Input:  back(w.Input),
+		Kept:   back(w.Kept),
+		Drift:  backNumber(w.Drift),
+	}
+	return nil
+}
+
+// backNumber is the inverse of jsonNumber: nil (wire null) becomes NaN.
+func backNumber(p *float64) float64 {
+	if p == nil {
+		return math.NaN()
+	}
+	return *p
 }
 
 // UnmarshalJSON is the inverse of MarshalJSON: null moments come back as
@@ -125,12 +192,7 @@ func (s *Summary) UnmarshalJSON(data []byte) error {
 	if err := json.Unmarshal(data, &w); err != nil {
 		return fmt.Errorf("sampling: summary: %w", err)
 	}
-	back := func(p *float64) float64 {
-		if p == nil {
-			return math.NaN()
-		}
-		return *p
-	}
+	back := backNumber
 	out := Summary{
 		Technique: w.Technique,
 		Spec:      w.Spec,
@@ -143,6 +205,7 @@ func (s *Summary) UnmarshalJSON(data []byte) error {
 		CILow:     back(w.CILow),
 		CIHigh:    back(w.CIHigh),
 		Finished:  w.Finished,
+		Hurst:     w.Hurst,
 		Uptime:    time.Duration(w.UptimeNS),
 	}
 	if w.Err != "" {

@@ -3,15 +3,18 @@ package sampling
 import (
 	"fmt"
 	"time"
+
+	"repro/sampling/estimate"
 )
 
 // Option configures an Engine at construction; see New.
 type Option func(*config) error
 
 type config struct {
-	seed   *uint64
-	budget int
-	clock  func() time.Time
+	seed      *uint64
+	budget    int
+	clock     func() time.Time
+	estimator estimate.Method
 }
 
 // WithSeed sets the random seed of a randomized technique, overriding
@@ -35,6 +38,24 @@ func WithBudget(n int) Option {
 			return fmt.Errorf("sampling: budget %d must be >= 1", n)
 		}
 		c.budget = n
+		return nil
+	}
+}
+
+// WithEstimator attaches an online Hurst estimator of the named method
+// ("aggvar", "wavelet" or "rs") to the engine: one instance consumes
+// every offered tick (the observed parent process) and a second
+// consumes the kept sample values, so Snapshot reports the H the
+// sampler saw next to the H it preserved — the paper's preservation
+// question, live. The tick path stays allocation-free; unknown method
+// names wrap ErrUnknownEstimator.
+func WithEstimator(method estimate.Method) Option {
+	return func(c *config) error {
+		// Validate eagerly so a typo fails at New, not first Snapshot.
+		if _, err := estimate.New(method); err != nil {
+			return fmt.Errorf("sampling: %w", err)
+		}
+		c.estimator = method
 		return nil
 	}
 }

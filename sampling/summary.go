@@ -1,6 +1,11 @@
 package sampling
 
-import "time"
+import (
+	"math"
+	"time"
+
+	"repro/sampling/estimate"
+)
 
 // Summary is a point-in-time view of a live engine, returned by
 // Engine.Snapshot. All counters are monotonically non-decreasing across
@@ -22,9 +27,46 @@ type Summary struct {
 	Finished bool  // Finish has been called
 	Err      error // deferred engine error recorded by Finish, if any
 
+	// Hurst carries the live long-range-dependence estimates when the
+	// engine was built with WithEstimator; nil otherwise.
+	Hurst *HurstSummary
+
 	At     time.Time     // when the snapshot was taken (per the engine's clock)
 	Uptime time.Duration // time since the engine was built
 }
 
 // Exhausted reports whether a kept-sample budget is set and used up.
 func (s Summary) Exhausted() bool { return s.Budget > 0 && s.Kept >= s.Budget }
+
+// HurstPoint is one side of the preservation comparison: the online H
+// estimate of a single stream (the engine's input or its kept samples).
+type HurstPoint struct {
+	H      float64 // estimated Hurst parameter; NaN until determined
+	Beta   float64 // implied ACF decay exponent 2 - 2H; NaN with H
+	Levels int     // regression points behind the estimate
+	Ticks  int64   // ticks the estimator had consumed
+	OK     bool    // the stream was long enough to regress
+}
+
+// HurstSummary is the live form of the paper's central question — does
+// the technique preserve self-similarity? — for one engine: the Hurst
+// parameter of the stream it observes next to the Hurst parameter of
+// the samples it kept, plus the drift between them.
+type HurstSummary struct {
+	Method estimate.Method // estimation method, e.g. "aggvar"
+	Input  HurstPoint      // H of every offered tick (pre-sampling)
+	Kept   HurstPoint      // H of the kept sample values (post-sampling)
+	Drift  float64         // Kept.H - Input.H; NaN until both sides are OK
+}
+
+// newHurstSummary assembles the block from the two estimator readings.
+func newHurstSummary(in, kept estimate.Estimate) *HurstSummary {
+	point := func(e estimate.Estimate) HurstPoint {
+		return HurstPoint{H: e.H, Beta: e.Beta, Levels: e.Levels, Ticks: e.Ticks, OK: e.OK}
+	}
+	h := &HurstSummary{Method: in.Method, Input: point(in), Kept: point(kept), Drift: math.NaN()}
+	if in.OK && kept.OK {
+		h.Drift = kept.H - in.H
+	}
+	return h
+}
