@@ -293,6 +293,58 @@ func BenchmarkPublicEngineStream(b *testing.B) {
 	}
 }
 
+// BenchmarkPublicEngineOfferBatch is the batch-ingest counterpart of
+// BenchmarkPublicEngineStream: the same per-technique work fed in
+// 512-tick batches, paying one engine-lock acquisition per batch
+// instead of one per tick — the shape every hot ingest path (hub,
+// sampled, sampleload) now drives.
+func BenchmarkPublicEngineOfferBatch(b *testing.B) {
+	f := samplerBenchTrace()
+	const batch = 512
+	for _, tc := range samplerBenchSpecs {
+		b.Run(tc.name, func(b *testing.B) {
+			spec := sampling.MustParse(tc.spec)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				eng, err := sampling.New(spec)
+				if err != nil {
+					b.Fatal(err)
+				}
+				for off := 0; off < len(f); off += batch {
+					eng.OfferBatch(f[off : off+batch])
+				}
+				if _, err := eng.Finish(); err != nil {
+					b.Fatal(err)
+				}
+				if eng.Snapshot().Kept == 0 {
+					b.Fatal("kept no samples")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkGroupOfferBatch measures the comparison-group fan-out: one
+// 512-tick batch through all five techniques plus the shared input
+// accumulator, per group-lock acquisition. Reported per input tick via
+// b.N batches.
+func BenchmarkGroupOfferBatch(b *testing.B) {
+	specs := []sampling.Spec{}
+	for _, tc := range samplerBenchSpecs {
+		specs = append(specs, sampling.MustParse(tc.spec))
+	}
+	g, err := sampling.NewGroup(specs)
+	if err != nil {
+		b.Fatal(err)
+	}
+	f := samplerBenchTrace()[:512]
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.OfferBatch(f)
+	}
+}
+
 // BenchmarkPublicSnapshot measures one mid-stream observation of a warm
 // engine — the operation a live dashboard performs per refresh.
 func BenchmarkPublicSnapshot(b *testing.B) {

@@ -20,6 +20,18 @@
 // Baselines are machine-specific absolute timings: refresh with -write
 // when the benchmark hardware changes, and keep the threshold generous
 // enough (the default 0.20 = 20%) to absorb run-to-run jitter.
+//
+// -list closes the gate's other hole: a baseline entry naming a
+// benchmark that no longer exists anywhere in the repo. The bench input
+// only proves what ran, so CI feeds the output of
+//
+//	go test -run='^$' -list '^Benchmark' ./...
+//
+// through -list, and benchdiff fails when a guarded name's top-level
+// benchmark (the part before any '/') is not declared — a renamed or
+// deleted benchmark then fails the gate explicitly instead of silently
+// dropping out of the guarded set the next time the baseline is
+// rewritten.
 package main
 
 import (
@@ -166,6 +178,7 @@ func run(args []string, out io.Writer) error {
 	var (
 		basePath  = fs.String("baseline", "bench_baseline.json", "committed baseline file")
 		benchPath = fs.String("bench", "-", "benchmark output to check (text or -json; - = stdin)")
+		listPath  = fs.String("list", "", "`go test -list '^Benchmark' ./...` output; every baseline entry's top-level benchmark must be declared in it")
 		threshold = fs.Float64("threshold", 0, "regression threshold as a fraction (0 = the baseline's, or 0.20)")
 		write     = fs.Bool("write", false, "rewrite the baseline's ns/op from the bench input instead of gating")
 	)
@@ -200,6 +213,20 @@ func run(args []string, out io.Writer) error {
 	}
 	if len(base.Benchmarks) == 0 {
 		return fmt.Errorf("baseline %s guards no benchmarks", *basePath)
+	}
+	if *listPath != "" {
+		f, err := os.Open(*listPath)
+		if err != nil {
+			return err
+		}
+		declared, err := parseList(f)
+		f.Close()
+		if err != nil {
+			return err
+		}
+		if err := checkDeclared(&base, declared); err != nil {
+			return err
+		}
 	}
 
 	if *write {
@@ -243,6 +270,51 @@ func run(args []string, out io.Writer) error {
 			len(failures), 100*tol, strings.Join(failures, "\n  "))
 	}
 	fmt.Fprintf(out, "gate clean: %d benchmarks within %.0f%% of baseline\n", len(names), 100*tol)
+	return nil
+}
+
+// listName matches one declared benchmark name in `go test -list`
+// output, which interleaves names with "ok  <pkg>  <time>" lines.
+var listName = regexp.MustCompile(`^Benchmark\S*$`)
+
+// parseList extracts the declared top-level benchmark names from a
+// `go test -run='^$' -list '^Benchmark' ./...` stream.
+func parseList(r io.Reader) (map[string]bool, error) {
+	declared := make(map[string]bool)
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	for sc.Scan() {
+		if line := strings.TrimSpace(sc.Text()); listName.MatchString(line) {
+			declared[line] = true
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(declared) == 0 {
+		return nil, fmt.Errorf("-list input declares no benchmarks")
+	}
+	return declared, nil
+}
+
+// checkDeclared fails when any baseline entry names a benchmark whose
+// top-level declaration (the name before any sub-benchmark '/') is
+// gone from the repo — the entry would otherwise sit in the gate
+// guarding nothing the next time someone renames a benchmark and
+// refreshes the baseline.
+func checkDeclared(base *baseline, declared map[string]bool) error {
+	var gone []string
+	for name := range base.Benchmarks {
+		top, _, _ := strings.Cut(name, "/")
+		if !declared[top] {
+			gone = append(gone, name)
+		}
+	}
+	if len(gone) > 0 {
+		sort.Strings(gone)
+		return fmt.Errorf("%d baseline entr(ies) name benchmarks that no longer exist:\n  %s",
+			len(gone), strings.Join(gone, "\n  "))
+	}
 	return nil
 }
 

@@ -181,3 +181,82 @@ func TestEmptyInputRejected(t *testing.T) {
 		t.Fatal("empty bench output accepted")
 	}
 }
+
+// writeList drops a `go test -list`-shaped file: benchmark names
+// interleaved with the runner's "ok  pkg  time" lines.
+func writeList(t *testing.T, names ...string) string {
+	t.Helper()
+	var b strings.Builder
+	for i, name := range names {
+		b.WriteString(name + "\n")
+		if i%2 == 1 {
+			b.WriteString("ok  \trepro/some/pkg\t0.002s\n")
+		}
+	}
+	path := filepath.Join(t.TempDir(), "list.txt")
+	if err := os.WriteFile(path, []byte(b.String()), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// TestListCatchesVanishedBenchmark: a baseline entry whose top-level
+// benchmark is no longer declared anywhere must fail the gate even when
+// the bench input happens to satisfy it — the declared set is the
+// ground truth, the bench input only proves what ran.
+func TestListCatchesVanishedBenchmark(t *testing.T) {
+	basePath, benchPath := writeFixtures(t, 5000, sampleText)
+	listPath := writeList(t, "BenchmarkSomethingElse", "BenchmarkAnother")
+	var buf bytes.Buffer
+	err := run([]string{"-baseline", basePath, "-bench", benchPath, "-list", listPath}, &buf)
+	if err == nil || !strings.Contains(err.Error(), "no longer exist") {
+		t.Fatalf("err = %v, want vanished-benchmark failure", err)
+	}
+	if !strings.Contains(err.Error(), "BenchmarkHubOfferParallel") {
+		t.Errorf("failure does not name the stale entry: %v", err)
+	}
+	// The check guards -write too: a stale entry must not survive a
+	// baseline refresh.
+	if err := run([]string{"-baseline", basePath, "-bench", benchPath, "-list", listPath, "-write"}, &buf); err == nil {
+		t.Fatal("stale entry survived -write with -list")
+	}
+}
+
+// TestListAcceptsDeclaredSubBenchmarks: entries guard sub-benchmarks
+// ("BenchmarkX/case"), but `go test -list` only declares top-level
+// names — the check must compare the prefix before '/'.
+func TestListAcceptsDeclaredSubBenchmarks(t *testing.T) {
+	dir := t.TempDir()
+	basePath := filepath.Join(dir, "baseline.json")
+	base := baseline{Threshold: 0.20, Benchmarks: map[string]*benchSpec{
+		"BenchmarkEstimatorTick/aggvar": {NsPerOp: 10},
+	}}
+	data, err := json.Marshal(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(basePath, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	benchPath := filepath.Join(dir, "bench.txt")
+	if err := os.WriteFile(benchPath, []byte("BenchmarkEstimatorTick/aggvar-8 100 9.5 ns/op\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	listPath := writeList(t, "BenchmarkEstimatorTick")
+	var buf bytes.Buffer
+	if err := run([]string{"-baseline", basePath, "-bench", benchPath, "-list", listPath}, &buf); err != nil {
+		t.Fatalf("declared sub-benchmark rejected: %v\n%s", err, buf.String())
+	}
+}
+
+func TestListRejectsEmptyDeclarations(t *testing.T) {
+	basePath, benchPath := writeFixtures(t, 5000, sampleText)
+	listPath := filepath.Join(t.TempDir(), "list.txt")
+	if err := os.WriteFile(listPath, []byte("ok  \trepro\t0.001s\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := run([]string{"-baseline", basePath, "-bench", benchPath, "-list", listPath}, &buf); err == nil {
+		t.Fatal("benchmark-less -list input accepted")
+	}
+}

@@ -14,6 +14,16 @@
 //	GET    /v1/streams                live stream ids
 //	GET    /metrics                   Prometheus text format
 //
+// The v2 addition, comparison groups, fans one input stream out to
+// several techniques so they can be scored side by side on identical
+// traffic (group ids are their own namespace, separate from streams):
+//
+//	PUT    /v1/groups/{id}            create: {"specs": ["systematic:interval=100", "bss:interval=100,L=10,eps=1.0"], "estimator": "aggvar"}
+//	POST   /v1/groups/{id}/ticks      ingest one batch into every member (same body formats as stream ticks)
+//	GET    /v1/groups/{id}            live comparison: input reference + per-technique summary and fidelity
+//	DELETE /v1/groups/{id}            finish: final comparison + per-member end-of-stream samples
+//	GET    /v1/groups                 live group ids
+//
 // Typed failures map onto statuses: unknown techniques, bad specs and
 // rejected parameters are 400s, a missing stream is a 404, a duplicate
 // create is a 409. Shutdown is graceful: SIGINT/SIGTERM stops accepting
@@ -118,7 +128,7 @@ func run(ctx context.Context, args []string, ready chan<- net.Addr) error {
 		return err
 	}
 	st := h.Stats()
-	logger.Printf("served %d ticks across %d streams (%.0f ticks/s lifetime average)",
-		st.Ticks, st.Created, st.TicksPerSec)
+	logger.Printf("served %d ticks across %d streams (%.0f ticks/s lifetime average) and %d group ticks across %d groups",
+		st.Ticks, st.Created, st.TicksPerSec, st.GroupTicks, st.GroupsCreated)
 	return nil
 }

@@ -51,6 +51,11 @@ func newServer(h *hub.Hub, maxBody int64, hurstEvery time.Duration) http.Handler
 	mux.HandleFunc("GET /v1/streams/{id}/hurst", s.hurst)
 	mux.HandleFunc("DELETE /v1/streams/{id}", s.finishStream)
 	mux.HandleFunc("GET /v1/streams", s.listStreams)
+	mux.HandleFunc("PUT /v1/groups/{id}", s.createGroup)
+	mux.HandleFunc("POST /v1/groups/{id}/ticks", s.offerGroupTicks)
+	mux.HandleFunc("GET /v1/groups/{id}", s.groupSnapshot)
+	mux.HandleFunc("DELETE /v1/groups/{id}", s.finishGroup)
+	mux.HandleFunc("GET /v1/groups", s.listGroups)
 	mux.HandleFunc("GET /metrics", s.metrics)
 	return mux
 }
@@ -124,28 +129,39 @@ func decodeStrict(r io.Reader, v any) error {
 	return nil
 }
 
+// engineOptions maps the shared seed/budget/estimator request fields
+// onto engine options, reporting the 400 itself on a bad budget; the
+// second return is false when a response has already been written.
+func engineOptions(w http.ResponseWriter, seed *uint64, budget int, estimator string) ([]sampling.Option, bool) {
+	var opts []sampling.Option
+	if seed != nil {
+		opts = append(opts, sampling.WithSeed(*seed))
+	}
+	// 0 is the documented "unlimited" default; anything else below 1 is
+	// a client mistake and must not silently create an unbounded stream.
+	if budget < 0 {
+		writeJSON(w, http.StatusBadRequest,
+			map[string]string{"error": fmt.Sprintf("budget %d must be >= 0", budget)})
+		return nil, false
+	}
+	if budget > 0 {
+		opts = append(opts, sampling.WithBudget(budget))
+	}
+	if estimator != "" {
+		opts = append(opts, sampling.WithEstimator(estimate.Method(estimator)))
+	}
+	return opts, true
+}
+
 func (s *server) createStream(w http.ResponseWriter, r *http.Request) {
 	var req createRequest
 	if err := decodeStrict(http.MaxBytesReader(w, r.Body, s.maxBody), &req); err != nil {
 		writeBodyError(w, err)
 		return
 	}
-	var opts []sampling.Option
-	if req.Seed != nil {
-		opts = append(opts, sampling.WithSeed(*req.Seed))
-	}
-	// 0 is the documented "unlimited" default; anything else below 1 is
-	// a client mistake and must not silently create an unbounded stream.
-	if req.Budget < 0 {
-		writeJSON(w, http.StatusBadRequest,
-			map[string]string{"error": fmt.Sprintf("budget %d must be >= 0", req.Budget)})
+	opts, ok := engineOptions(w, req.Seed, req.Budget, req.Estimator)
+	if !ok {
 		return
-	}
-	if req.Budget > 0 {
-		opts = append(opts, sampling.WithBudget(req.Budget))
-	}
-	if req.Estimator != "" {
-		opts = append(opts, sampling.WithEstimator(estimate.Method(req.Estimator)))
 	}
 	id := r.PathValue("id")
 	if err := s.hub.Create(id, req.Spec, opts...); err != nil {
@@ -166,15 +182,13 @@ type offerResponse struct {
 	Kept     int `json:"kept"`     // samples this batch finalized
 }
 
-// offerTicks ingests one batch. Two body formats: a JSON array of
-// numbers (Content-Type application/json) and newline- or
-// whitespace-separated decimal floats (anything else) — the latter is
-// what `tr` and `awk` pipelines produce. Ticks within one stream must
-// be posted sequentially; batches for different streams are fully
-// concurrent.
-func (s *server) offerTicks(w http.ResponseWriter, r *http.Request) {
+// readTicks parses one ingest batch from the request body. Two body
+// formats: a JSON array of numbers (Content-Type application/json) and
+// newline- or whitespace-separated decimal floats (anything else) — the
+// latter is what `tr` and `awk` pipelines produce. On a malformed body
+// readTicks writes the 400/413 itself and returns ok=false.
+func (s *server) readTicks(w http.ResponseWriter, r *http.Request) (values []float64, ok bool) {
 	body := http.MaxBytesReader(w, r.Body, s.maxBody)
-	var values []float64
 	if strings.HasPrefix(r.Header.Get("Content-Type"), "application/json") {
 		// Decode through pointers so a null element — which plain
 		// []float64 silently turns into a phantom 0.0 tick — is
@@ -182,41 +196,52 @@ func (s *server) offerTicks(w http.ResponseWriter, r *http.Request) {
 		var boxed []*float64
 		if err := decodeStrict(body, &boxed); err != nil {
 			writeBodyError(w, err)
-			return
+			return nil, false
 		}
 		values = make([]float64, len(boxed))
 		for i, p := range boxed {
 			if p == nil {
 				writeJSON(w, http.StatusBadRequest,
 					map[string]string{"error": fmt.Sprintf("tick %d: null is not a tick value", i)})
-				return
+				return nil, false
 			}
 			values[i] = *p
 		}
-	} else {
-		sc := bufio.NewScanner(body)
-		sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
-		sc.Split(bufio.ScanWords)
-		for sc.Scan() {
-			v, err := strconv.ParseFloat(sc.Text(), 64)
-			if err != nil {
-				writeJSON(w, http.StatusBadRequest,
-					map[string]string{"error": fmt.Sprintf("tick %d: %v", len(values), err)})
-				return
-			}
-			// ParseFloat accepts NaN/Inf spellings, but one NaN poisons
-			// the stream's running moments for the rest of its life.
-			if math.IsNaN(v) || math.IsInf(v, 0) {
-				writeJSON(w, http.StatusBadRequest,
-					map[string]string{"error": fmt.Sprintf("tick %d: non-finite value %v", len(values), v)})
-				return
-			}
-			values = append(values, v)
+		return values, true
+	}
+	sc := bufio.NewScanner(body)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	sc.Split(bufio.ScanWords)
+	for sc.Scan() {
+		v, err := strconv.ParseFloat(sc.Text(), 64)
+		if err != nil {
+			writeJSON(w, http.StatusBadRequest,
+				map[string]string{"error": fmt.Sprintf("tick %d: %v", len(values), err)})
+			return nil, false
 		}
-		if err := sc.Err(); err != nil {
-			writeBodyError(w, err)
-			return
+		// ParseFloat accepts NaN/Inf spellings, but one NaN poisons
+		// the stream's running moments for the rest of its life.
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			writeJSON(w, http.StatusBadRequest,
+				map[string]string{"error": fmt.Sprintf("tick %d: non-finite value %v", len(values), v)})
+			return nil, false
 		}
+		values = append(values, v)
+	}
+	if err := sc.Err(); err != nil {
+		writeBodyError(w, err)
+		return nil, false
+	}
+	return values, true
+}
+
+// offerTicks ingests one batch into a stream. Ticks within one stream
+// must be posted sequentially; batches for different streams are fully
+// concurrent.
+func (s *server) offerTicks(w http.ResponseWriter, r *http.Request) {
+	values, ok := s.readTicks(w, r)
+	if !ok {
+		return
 	}
 	kept, err := s.hub.OfferBatch(r.PathValue("id"), values)
 	if err != nil {
@@ -293,6 +318,102 @@ func (s *server) listStreams(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]any{"streams": ids, "count": len(ids)})
 }
 
+// createGroupRequest is the body of PUT /v1/groups/{id}: the member
+// specs (each in either wire form, string or object) plus the same
+// seed/budget/estimator options as a stream create — with "estimator"
+// buying the whole group one shared input-side estimator and one
+// kept-side estimator per member.
+type createGroupRequest struct {
+	Specs     []sampling.Spec `json:"specs"`
+	Seed      *uint64         `json:"seed,omitempty"`
+	Budget    int             `json:"budget,omitempty"`
+	Estimator string          `json:"estimator,omitempty"`
+}
+
+func (s *server) createGroup(w http.ResponseWriter, r *http.Request) {
+	var req createGroupRequest
+	if err := decodeStrict(http.MaxBytesReader(w, r.Body, s.maxBody), &req); err != nil {
+		writeBodyError(w, err)
+		return
+	}
+	opts, ok := engineOptions(w, req.Seed, req.Budget, req.Estimator)
+	if !ok {
+		return
+	}
+	id := r.PathValue("id")
+	if err := s.hub.CreateGroup(id, req.Specs, opts...); err != nil {
+		writeError(w, err)
+		return
+	}
+	cmp, err := s.hub.GroupSnapshot(id)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, cmp)
+}
+
+// offerGroupTicks ingests one batch into every member of a group; body
+// formats as for stream ticks. "kept" counts samples across all
+// members, so it can exceed "accepted".
+func (s *server) offerGroupTicks(w http.ResponseWriter, r *http.Request) {
+	values, ok := s.readTicks(w, r)
+	if !ok {
+		return
+	}
+	kept, err := s.hub.OfferGroupBatch(r.PathValue("id"), values)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, offerResponse{Accepted: len(values), Kept: kept})
+}
+
+// groupSnapshot serves the live comparison document: the unsampled
+// input reference plus per-technique summaries and fidelity scores.
+func (s *server) groupSnapshot(w http.ResponseWriter, r *http.Request) {
+	cmp, err := s.hub.GroupSnapshot(r.PathValue("id"))
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, cmp)
+}
+
+// finishGroupResponse is the body of DELETE /v1/groups/{id}: the final
+// comparison plus each member's end-of-stream samples, in member order.
+type finishGroupResponse struct {
+	Comparison sampling.Comparison `json:"comparison"`
+	Tails      [][]sampleJSON      `json:"tails"`
+}
+
+// finishGroup ends a group. As with streams, member finalization
+// failures do not block the DELETE: the group is removed and each
+// failing member's summary carries its error.
+func (s *server) finishGroup(w http.ResponseWriter, r *http.Request) {
+	tails, cmp, err := s.hub.FinishGroup(r.PathValue("id"))
+	if err != nil && errors.Is(err, hub.ErrStreamNotFound) {
+		writeError(w, err)
+		return
+	}
+	resp := finishGroupResponse{Comparison: cmp, Tails: make([][]sampleJSON, len(tails))}
+	for i, tail := range tails {
+		resp.Tails[i] = make([]sampleJSON, len(tail))
+		for j, smp := range tail {
+			resp.Tails[i][j] = sampleJSON{Index: smp.Index, Value: smp.Value, Qualified: smp.Qualified}
+		}
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *server) listGroups(w http.ResponseWriter, r *http.Request) {
+	ids := s.hub.ListGroups()
+	if ids == nil {
+		ids = []string{}
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"groups": ids, "count": len(ids)})
+}
+
 // hurstAggregate returns the hub's Hurst aggregate, recomputed at most
 // once per hurstEvery (staleness up to that period is inherent to the
 // gauge; the per-stream /hurst endpoint is always live).
@@ -317,6 +438,11 @@ func (s *server) metrics(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintf(w, "# HELP sampled_streams_evicted_total Streams evicted after the idle TTL.\n# TYPE sampled_streams_evicted_total counter\nsampled_streams_evicted_total %d\n", st.Evicted)
 	fmt.Fprintf(w, "# HELP sampled_ticks_total Ticks ingested across all streams.\n# TYPE sampled_ticks_total counter\nsampled_ticks_total %d\n", st.Ticks)
 	fmt.Fprintf(w, "# HELP sampled_samples_kept_total Samples kept across all streams.\n# TYPE sampled_samples_kept_total counter\nsampled_samples_kept_total %d\n", st.Kept)
+	fmt.Fprintf(w, "# HELP sampled_groups Live comparison groups.\n# TYPE sampled_groups gauge\nsampled_groups %d\n", st.Groups)
+	fmt.Fprintf(w, "# HELP sampled_groups_created_total Comparison groups ever created.\n# TYPE sampled_groups_created_total counter\nsampled_groups_created_total %d\n", st.GroupsCreated)
+	fmt.Fprintf(w, "# HELP sampled_groups_evicted_total Comparison groups evicted after the idle TTL.\n# TYPE sampled_groups_evicted_total counter\nsampled_groups_evicted_total %d\n", st.GroupsEvicted)
+	fmt.Fprintf(w, "# HELP sampled_group_ticks_total Input ticks ingested by comparison groups (each fans out to every member).\n# TYPE sampled_group_ticks_total counter\nsampled_group_ticks_total %d\n", st.GroupTicks)
+	fmt.Fprintf(w, "# HELP sampled_group_samples_kept_total Samples kept across all group members.\n# TYPE sampled_group_samples_kept_total counter\nsampled_group_samples_kept_total %d\n", st.GroupKept)
 	fmt.Fprintf(w, "# HELP sampled_uptime_seconds Seconds since the hub started.\n# TYPE sampled_uptime_seconds gauge\nsampled_uptime_seconds %g\n", st.Uptime.Seconds())
 	fmt.Fprintf(w, "# HELP sampled_ticks_per_second_avg Lifetime average ingest rate.\n# TYPE sampled_ticks_per_second_avg gauge\nsampled_ticks_per_second_avg %g\n", st.TicksPerSec)
 	hs := s.hurstAggregate()

@@ -552,3 +552,184 @@ func TestMetricsHurstCache(t *testing.T) {
 		t.Errorf("uncached scrape missed the stream:\n%s", data)
 	}
 }
+
+// TestGroupEndpoints drives the v2 comparison-group resource over the
+// wire: create with all five techniques, batch ingest, live comparison,
+// list, group metrics, finish with per-member tails, and the error
+// mapping of the group namespace.
+func TestGroupEndpoints(t *testing.T) {
+	h := hub.New()
+	srv := httptest.NewServer(newServer(h, 0, 0))
+	defer srv.Close()
+	client := srv.Client()
+
+	specs := []string{
+		"systematic:interval=50,offset=7",
+		"stratified:interval=50,seed=11",
+		"simple:n=100,seed=5",
+		"bernoulli:rate=0.02,seed=13",
+		"bss:interval=50,L=5,eps=1.0",
+	}
+	code, body := doJSON(t, client, http.MethodPut, srv.URL+"/v1/groups/cmp",
+		map[string]any{"specs": specs, "estimator": "aggvar"})
+	if code != http.StatusCreated {
+		t.Fatalf("PUT group: %d %s", code, body)
+	}
+
+	series := heavyTailedSeries(42, 5000)
+	for off := 0; off < len(series); off += 1000 {
+		code, body := doJSON(t, client, http.MethodPost, srv.URL+"/v1/groups/cmp/ticks", series[off:off+1000])
+		if code != http.StatusOK {
+			t.Fatalf("POST group ticks: %d %s", code, body)
+		}
+		var resp offerResponse
+		if err := json.Unmarshal(body, &resp); err != nil {
+			t.Fatal(err)
+		}
+		if resp.Accepted != 1000 {
+			t.Fatalf("group ticks: accepted %d of 1000", resp.Accepted)
+		}
+	}
+
+	code, body = doJSON(t, client, http.MethodGet, srv.URL+"/v1/groups/cmp", nil)
+	if code != http.StatusOK {
+		t.Fatalf("GET group: %d %s", code, body)
+	}
+	var cmp sampling.Comparison
+	if err := json.Unmarshal(body, &cmp); err != nil {
+		t.Fatalf("comparison %s: %v", body, err)
+	}
+	if cmp.Seen != len(series) || len(cmp.Members) != len(specs) || cmp.Finished {
+		t.Fatalf("comparison: seen=%d members=%d finished=%v", cmp.Seen, len(cmp.Members), cmp.Finished)
+	}
+	for i, m := range cmp.Members {
+		// Each member over the wire must match a standalone engine fed
+		// the same series — the group adds observation, not distortion.
+		ref, err := sampling.New(sampling.MustParse(specs[i]))
+		if err != nil {
+			t.Fatal(err)
+		}
+		ref.OfferBatch(series)
+		want := ref.Snapshot()
+		if m.Summary.Kept != want.Kept || m.Summary.Seen != want.Seen {
+			t.Errorf("member %d (%s): kept=%d seen=%d, standalone kept=%d seen=%d",
+				i, specs[i], m.Summary.Kept, m.Summary.Seen, want.Kept, want.Seen)
+		}
+	}
+
+	code, body = doJSON(t, client, http.MethodGet, srv.URL+"/v1/groups", nil)
+	if code != http.StatusOK || !strings.Contains(string(body), `"groups":["cmp"]`) {
+		t.Errorf("group list: %d %s", code, body)
+	}
+
+	resp, err := client.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	metrics, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	for _, line := range []string{"sampled_groups 1", "sampled_groups_created_total 1",
+		"sampled_group_ticks_total 5000"} {
+		if !strings.Contains(string(metrics), line) {
+			t.Errorf("metrics missing %q:\n%s", line, metrics)
+		}
+	}
+
+	code, body = doJSON(t, client, http.MethodDelete, srv.URL+"/v1/groups/cmp", nil)
+	if code != http.StatusOK {
+		t.Fatalf("DELETE group: %d %s", code, body)
+	}
+	var fin finishGroupResponse
+	if err := json.Unmarshal(body, &fin); err != nil {
+		t.Fatal(err)
+	}
+	if !fin.Comparison.Finished || len(fin.Tails) != len(specs) {
+		t.Errorf("group finish: finished=%v tails=%d", fin.Comparison.Finished, len(fin.Tails))
+	}
+	if len(fin.Tails[2]) != 100 {
+		t.Errorf("simple member tail has %d samples, want its full n=100 draw", len(fin.Tails[2]))
+	}
+
+	// Error mapping in the group namespace.
+	cases := []struct {
+		name   string
+		method string
+		path   string
+		body   any
+		want   int
+	}{
+		{"snapshot of ghost group", http.MethodGet, "/v1/groups/ghost", nil, http.StatusNotFound},
+		{"ticks to ghost group", http.MethodPost, "/v1/groups/ghost/ticks", []float64{1}, http.StatusNotFound},
+		{"delete ghost group", http.MethodDelete, "/v1/groups/ghost", nil, http.StatusNotFound},
+		{"spec-less group", http.MethodPut, "/v1/groups/bad", map[string]any{"specs": []string{}}, http.StatusBadRequest},
+		{"unknown member technique", http.MethodPut, "/v1/groups/bad", map[string]any{"specs": []string{"warp-drive:rate=1"}}, http.StatusBadRequest},
+		{"unknown estimator", http.MethodPut, "/v1/groups/bad", map[string]any{"specs": specs, "estimator": "psychic"}, http.StatusBadRequest},
+		{"unknown body field", http.MethodPut, "/v1/groups/bad", map[string]any{"specs": specs, "sede": 1}, http.StatusBadRequest},
+		{"negative budget", http.MethodPut, "/v1/groups/bad", map[string]any{"specs": specs, "budget": -1}, http.StatusBadRequest},
+	}
+	for _, tc := range cases {
+		if code, body := doJSON(t, client, tc.method, srv.URL+tc.path, tc.body); code != tc.want {
+			t.Errorf("%s: got %d (%s), want %d", tc.name, code, body, tc.want)
+		}
+	}
+	if code, _ := doJSON(t, client, http.MethodPut, srv.URL+"/v1/groups/dup",
+		map[string]any{"specs": specs[:2]}); code != http.StatusCreated {
+		t.Fatal("dup setup failed")
+	}
+	if code, _ := doJSON(t, client, http.MethodPut, srv.URL+"/v1/groups/dup",
+		map[string]any{"specs": specs[:2]}); code != http.StatusConflict {
+		t.Errorf("duplicate group create: got %d, want 409", code)
+	}
+}
+
+// TestGroupGoldenSnapshot pins the served comparison document: with a
+// fake clock and a deterministic stream, the bytes coming off the wire
+// must equal the marshaled form of an identically driven in-process
+// group — the daemon adds transport, not content — and spot-checked
+// literal fragments pin the wire names and null-for-NaN convention.
+func TestGroupGoldenSnapshot(t *testing.T) {
+	at := time.Date(2026, 7, 27, 12, 0, 0, 0, time.UTC)
+	clock := func() time.Time { return at }
+	h := hub.New(hub.WithClock(clock))
+	srv := httptest.NewServer(newServer(h, 0, 0))
+	defer srv.Close()
+
+	specs := []string{"systematic:interval=2", "bernoulli:rate=0.5,seed=9"}
+	code, body := doJSON(t, srv.Client(), http.MethodPut, srv.URL+"/v1/groups/golden",
+		map[string]any{"specs": specs, "estimator": "aggvar"})
+	if code != http.StatusCreated {
+		t.Fatalf("PUT: %d %s", code, body)
+	}
+	series := []float64{1, 2, 3, 4, 5, 6, 7, 8}
+	if code, body := doJSON(t, srv.Client(), http.MethodPost, srv.URL+"/v1/groups/golden/ticks", series); code != http.StatusOK {
+		t.Fatalf("POST: %d %s", code, body)
+	}
+	code, served := doJSON(t, srv.Client(), http.MethodGet, srv.URL+"/v1/groups/golden", nil)
+	if code != http.StatusOK {
+		t.Fatalf("GET: %d %s", code, served)
+	}
+
+	ref, err := sampling.NewGroup(
+		[]sampling.Spec{sampling.MustParse(specs[0]), sampling.MustParse(specs[1])},
+		sampling.WithEstimator("aggvar"), sampling.WithClock(clock))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref.OfferBatch(series)
+	want, err := json.Marshal(ref.Snapshot())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.TrimSpace(string(served)); got != string(want) {
+		t.Errorf("served comparison differs from the golden document:\n got %s\nwant %s", got, want)
+	}
+	for _, frag := range []string{
+		`"seen":8`, `"mean":4.5`, `"method":"aggvar"`, `"kept_ratio":0.5`,
+		`"technique":"systematic"`, `"hurst_drift":null`, `"uptime_ns":0`,
+		`"at":"2026-07-27T12:00:00Z"`,
+	} {
+		if !strings.Contains(string(served), frag) {
+			t.Errorf("golden document missing %s:\n%s", frag, served)
+		}
+	}
+}

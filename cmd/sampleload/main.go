@@ -21,11 +21,19 @@
 // analysis as a live measurement. -estimator off disables it (and the
 // per-tick estimation cost) for pure throughput runs.
 //
+// With -compare, every stream becomes a comparison group: the
+// ';'-separated specs all consume the same traffic side by side and the
+// run reports a per-technique fidelity table (kept ratio, mean and
+// variance bias against the unsampled input, Hurst drift) instead of a
+// single-technique drift block — the paper's cross-technique comparison
+// as a load test.
+//
 // Examples:
 //
 //	sampleload -direct -streams 256 -ticks 100000 -spec "bss:interval=100,L=5"
 //	sampleload -addr localhost:8080 -streams 32 -ticks 20000 -traffic onoff
 //	sampleload -direct -streams 64 -spec "systematic:interval=100" -estimator wavelet
+//	sampleload -direct -streams 8 -compare "systematic:interval=100;bss:interval=100,L=5,eps=1.0"
 package main
 
 import (
@@ -68,6 +76,7 @@ type loadConfig struct {
 	batch     int
 	workers   int
 	spec      string
+	compare   string // ";"-separated specs; non-empty switches to comparison groups
 	traffic   string // "fgn" or "onoff"
 	hurst     float64
 	seed      uint64
@@ -118,6 +127,8 @@ func run(args []string, out io.Writer) error {
 	fs.IntVar(&cfg.batch, "batch", 512, "ticks per ingest batch")
 	fs.IntVar(&cfg.workers, "workers", runtime.GOMAXPROCS(0), "ingest goroutines")
 	fs.StringVar(&cfg.spec, "spec", "systematic:interval=100", "sampler spec for every stream")
+	fs.StringVar(&cfg.compare, "compare", "",
+		`";"-separated sampler specs: drive comparison groups instead of single-technique streams and report a per-technique fidelity table (e.g. "systematic:interval=100;bss:interval=100,L=5,eps=1.0")`)
 	fs.StringVar(&cfg.traffic, "traffic", "fgn", "traffic model: fgn or onoff")
 	fs.Float64Var(&cfg.hurst, "hurst", 0.8, "Hurst parameter of the generated traffic")
 	fs.Uint64Var(&cfg.seed, "seed", 1, "traffic generator seed")
@@ -125,6 +136,9 @@ func run(args []string, out io.Writer) error {
 		"per-stream online Hurst estimator (aggvar, wavelet, rs) or off")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if cfg.compare != "" {
+		return runCompare(cfg, out)
 	}
 	res, err := runLoad(cfg, out)
 	if err != nil {
@@ -153,12 +167,18 @@ func run(args []string, out io.Writer) error {
 
 // driver abstracts the two targets: the in-process hub and the HTTP
 // daemon. Per-stream call order matters (ticks must stay sequential);
-// different streams are driven fully in parallel.
+// different streams are driven fully in parallel. The group methods
+// mirror the stream ones for -compare mode.
 type driver interface {
 	create(id string, spec sampling.Spec, estimator estimate.Method) error
 	offer(id string, batch []float64) (kept int, err error)
 	hurst(id string) (*sampling.HurstSummary, error)
 	finish(id string) error
+
+	createGroup(id string, specs []sampling.Spec, estimator estimate.Method) error
+	offerGroup(id string, batch []float64) (kept int, err error)
+	comparison(id string) (sampling.Comparison, error)
+	finishGroup(id string) error
 }
 
 type directDriver struct{ hub *hub.Hub }
@@ -185,6 +205,26 @@ func (d directDriver) finish(id string) error {
 	// the daemon's DELETE tolerates it the same way. Only a missing
 	// stream means the run itself went wrong.
 	_, _, err := d.hub.Finish(id)
+	if errors.Is(err, hub.ErrStreamNotFound) {
+		return err
+	}
+	return nil
+}
+
+func (d directDriver) createGroup(id string, specs []sampling.Spec, estimator estimate.Method) error {
+	if estimator != "" {
+		return d.hub.CreateGroup(id, specs, sampling.WithEstimator(estimator))
+	}
+	return d.hub.CreateGroup(id, specs)
+}
+func (d directDriver) offerGroup(id string, batch []float64) (int, error) {
+	return d.hub.OfferGroupBatch(id, batch)
+}
+func (d directDriver) comparison(id string) (sampling.Comparison, error) {
+	return d.hub.GroupSnapshot(id)
+}
+func (d directDriver) finishGroup(id string) error {
+	_, _, err := d.hub.FinishGroup(id)
 	if errors.Is(err, hub.ErrStreamNotFound) {
 		return err
 	}
@@ -267,6 +307,54 @@ func (d httpDriver) finish(id string) error {
 	return err
 }
 
+func (d httpDriver) createGroup(id string, specs []sampling.Spec, estimator estimate.Method) error {
+	req := map[string]any{"specs": specs}
+	if estimator != "" {
+		req["estimator"] = string(estimator)
+	}
+	body, err := json.Marshal(req)
+	if err != nil {
+		return err
+	}
+	_, err = d.do(http.MethodPut, d.base+"/v1/groups/"+id, body)
+	return err
+}
+
+func (d httpDriver) offerGroup(id string, batch []float64) (int, error) {
+	body, err := json.Marshal(batch)
+	if err != nil {
+		return 0, err
+	}
+	data, err := d.do(http.MethodPost, d.base+"/v1/groups/"+id+"/ticks", body)
+	if err != nil {
+		return 0, err
+	}
+	var resp struct {
+		Kept int `json:"kept"`
+	}
+	if err := json.Unmarshal(data, &resp); err != nil {
+		return 0, err
+	}
+	return resp.Kept, nil
+}
+
+func (d httpDriver) comparison(id string) (sampling.Comparison, error) {
+	data, err := d.do(http.MethodGet, d.base+"/v1/groups/"+id, nil)
+	if err != nil {
+		return sampling.Comparison{}, err
+	}
+	var cmp sampling.Comparison
+	if err := json.Unmarshal(data, &cmp); err != nil {
+		return sampling.Comparison{}, err
+	}
+	return cmp, nil
+}
+
+func (d httpDriver) finishGroup(id string) error {
+	_, err := d.do(http.MethodDelete, d.base+"/v1/groups/"+id, nil)
+	return err
+}
+
 // baseSeries generates the shared traffic series. Length is capped at
 // 2^18 ticks; longer streams replay it cyclically — the load generator
 // measures ingest, and 262k ticks of exact fGn is plenty of burstiness
@@ -336,18 +424,7 @@ func runLoad(cfg loadConfig, out io.Writer) (loadResult, error) {
 		return loadResult{}, err
 	}
 
-	var d driver
-	mode := "direct"
-	if cfg.direct {
-		d = directDriver{hub: hub.New()}
-	} else {
-		addr := cfg.addr
-		if !strings.Contains(addr, "://") {
-			addr = "http://" + addr
-		}
-		d = httpDriver{base: addr, client: &http.Client{Timeout: 30 * time.Second}}
-		mode = addr
-	}
+	d, mode := newDriver(cfg)
 	fmt.Fprintf(out, "target:   %s, %d streams x %d ticks, batch %d, %d workers, spec %s\n",
 		mode, cfg.streams, cfg.ticks, cfg.batch, cfg.workers, spec)
 	fmt.Fprintf(out, "traffic:  %s (H=%.2f), base series %d ticks\n", cfg.traffic, cfg.hurst, len(base))
@@ -369,68 +446,9 @@ func runLoad(cfg loadConfig, out io.Writer) (loadResult, error) {
 		}
 	}
 
-	var totalKept, totalTicks atomic.Int64
-	var errMu sync.Mutex
-	var firstErr error
-	fail := func(err error) {
-		errMu.Lock()
-		if firstErr == nil {
-			firstErr = err
-		}
-		errMu.Unlock()
-	}
-	var wg sync.WaitGroup
-	start := time.Now()
-	for w := 0; w < cfg.workers; w++ {
-		wg.Add(1)
-		go func(w int) {
-			defer wg.Done()
-			// Each worker owns a disjoint set of streams (single writer
-			// per stream) and round-robins batches across them, phase-
-			// rotated so concurrent streams replay different parts of the
-			// base series at any instant.
-			type cursor struct {
-				id        string
-				pos, left int
-			}
-			var mine []cursor
-			for i := w; i < cfg.streams; i += cfg.workers {
-				mine = append(mine, cursor{id: ids[i], pos: (i * 7919) % len(base), left: cfg.ticks})
-			}
-			for live := len(mine); live > 0; {
-				live = 0
-				for j := range mine {
-					c := &mine[j]
-					if c.left == 0 {
-						continue
-					}
-					n := cfg.batch
-					if n > c.left {
-						n = c.left
-					}
-					if n > len(base)-c.pos {
-						n = len(base) - c.pos
-					}
-					kept, err := d.offer(c.id, base[c.pos:c.pos+n])
-					if err != nil {
-						fail(err)
-						return
-					}
-					totalKept.Add(int64(kept))
-					totalTicks.Add(int64(n))
-					c.left -= n
-					c.pos = (c.pos + n) % len(base)
-					if c.left > 0 {
-						live++
-					}
-				}
-			}
-		}(w)
-	}
-	wg.Wait()
-	elapsed := time.Since(start)
-	if firstErr != nil {
-		return loadResult{}, firstErr
+	ticks, kept, elapsed, err := hammer(cfg, ids, base, d.offer)
+	if err != nil {
+		return loadResult{}, err
 	}
 	// Read the Hurst blocks before teardown: Finish removes the streams.
 	var dr *driftReport
@@ -472,5 +490,221 @@ func runLoad(cfg loadConfig, out io.Writer) (loadResult, error) {
 			return loadResult{}, fmt.Errorf("finishing %s: %w", id, err)
 		}
 	}
-	return loadResult{ticks: totalTicks.Load(), kept: totalKept.Load(), elapsed: elapsed, drift: dr}, nil
+	return loadResult{ticks: ticks, kept: kept, elapsed: elapsed, drift: dr}, nil
+}
+
+// newDriver builds the run's target from the config: the in-process
+// hub, or an HTTP client against a running daemon.
+func newDriver(cfg loadConfig) (driver, string) {
+	if cfg.direct {
+		return directDriver{hub: hub.New()}, "direct"
+	}
+	addr := cfg.addr
+	if !strings.Contains(addr, "://") {
+		addr = "http://" + addr
+	}
+	return httpDriver{base: addr, client: &http.Client{Timeout: 30 * time.Second}}, addr
+}
+
+// runCompare is -compare mode: every "stream" becomes a comparison
+// group fanning the same traffic out to each of the given specs, and
+// the report is a per-technique fidelity table — kept ratio, mean and
+// variance bias against the unsampled input, and (with an estimator)
+// the pre- vs post-sampling Hurst drift — aggregated over the groups.
+func runCompare(cfg loadConfig, out io.Writer) error {
+	if cfg.streams < 1 || cfg.ticks < 1 || cfg.batch < 1 || cfg.workers < 1 {
+		return fmt.Errorf("streams, ticks, batch and workers must all be >= 1")
+	}
+	var specs []sampling.Spec
+	for _, s := range strings.Split(cfg.compare, ";") {
+		s = strings.TrimSpace(s)
+		if s == "" {
+			continue
+		}
+		spec, err := sampling.Parse(s)
+		if err != nil {
+			return fmt.Errorf("-compare: %w", err)
+		}
+		specs = append(specs, spec)
+	}
+	if len(specs) < 2 {
+		return fmt.Errorf("-compare needs at least two ';'-separated specs, got %d", len(specs))
+	}
+	method := cfg.estimatorMethod()
+	if method != "" {
+		if _, err := estimate.New(method); err != nil {
+			return err
+		}
+	}
+	base, err := baseSeries(cfg)
+	if err != nil {
+		return err
+	}
+	d, mode := newDriver(cfg)
+	fmt.Fprintf(out, "target:   %s, %d groups x %d ticks x %d techniques, batch %d, %d workers\n",
+		mode, cfg.streams, cfg.ticks, len(specs), cfg.batch, cfg.workers)
+	fmt.Fprintf(out, "traffic:  %s (H=%.2f), base series %d ticks\n", cfg.traffic, cfg.hurst, len(base))
+
+	seedable := make([]bool, len(specs))
+	for i, spec := range specs {
+		seedable[i] = specAcceptsSeed(spec)
+	}
+	ids := make([]string, cfg.streams)
+	for g := range ids {
+		ids[g] = fmt.Sprintf("cmp-%05d", g)
+		members := make([]sampling.Spec, len(specs))
+		for i, spec := range specs {
+			members[i] = spec
+			// Distinct seeds per group and member, as in single-spec
+			// mode, so randomized members never keep/drop in lockstep.
+			if seedable[i] {
+				members[i] = spec.With("seed", fmt.Sprint(cfg.seed+uint64(g*len(specs)+i)))
+			}
+		}
+		if err := d.createGroup(ids[g], members, method); err != nil {
+			return fmt.Errorf("creating %s: %w", ids[g], err)
+		}
+	}
+	ticks, kept, elapsed, err := hammer(cfg, ids, base, d.offerGroup)
+	if err != nil {
+		return err
+	}
+
+	// Fold the per-group fidelity blocks into one row per technique
+	// before teardown: means over the groups where each score resolved.
+	type agg struct {
+		kept                int64
+		mbSum, vbSum, hdSum float64
+		mbN, vbN, hdN       int
+	}
+	aggs := make([]agg, len(specs))
+	var inputSeen int64
+	for _, id := range ids {
+		cmp, err := d.comparison(id)
+		if err != nil {
+			return fmt.Errorf("comparison %s: %w", id, err)
+		}
+		if len(cmp.Members) != len(specs) {
+			return fmt.Errorf("comparison %s has %d members, want %d", id, len(cmp.Members), len(specs))
+		}
+		inputSeen += int64(cmp.Seen)
+		for i, m := range cmp.Members {
+			a := &aggs[i]
+			a.kept += int64(m.Summary.Kept)
+			if v := m.Fidelity.MeanBias; !math.IsNaN(v) {
+				a.mbSum += v
+				a.mbN++
+			}
+			if v := m.Fidelity.VarianceBias; !math.IsNaN(v) {
+				a.vbSum += v
+				a.vbN++
+			}
+			if v := m.Fidelity.HurstDrift; !math.IsNaN(v) {
+				a.hdSum += v
+				a.hdN++
+			}
+		}
+	}
+	for _, id := range ids {
+		if err := d.finishGroup(id); err != nil {
+			return fmt.Errorf("finishing %s: %w", id, err)
+		}
+	}
+
+	rate := 0.0
+	if elapsed > 0 {
+		rate = float64(ticks) / elapsed.Seconds()
+	}
+	fmt.Fprintf(out, "ingest:   %d input ticks in %v -> %.3g ticks/s (x%d fan-out: %.3g engine ticks/s)\n",
+		ticks, elapsed.Round(time.Millisecond), rate, len(specs), rate*float64(len(specs)))
+	fmt.Fprintf(out, "kept:     %d samples across all techniques\n", kept)
+	cell := func(sum float64, n int) string {
+		if n == 0 {
+			return "n/a"
+		}
+		return fmt.Sprintf("%+.4f", sum/float64(n))
+	}
+	fmt.Fprintf(out, "\n%-36s %8s %11s %11s %9s\n", "technique", "kept%", "mean-bias", "var-bias", "h-drift")
+	for i, spec := range specs {
+		a := aggs[i]
+		keptPct := math.NaN()
+		if inputSeen > 0 {
+			keptPct = 100 * float64(a.kept) / float64(inputSeen)
+		}
+		fmt.Fprintf(out, "%-36s %7.3f%% %11s %11s %9s\n",
+			spec.String(), keptPct, cell(a.mbSum, a.mbN), cell(a.vbSum, a.vbN), cell(a.hdSum, a.hdN))
+	}
+	if method == "" {
+		fmt.Fprintln(out, "(h-drift needs an estimator; it was disabled for this run)")
+	}
+	return nil
+}
+
+// hammer drives batches at the target from cfg.workers goroutines and
+// returns the ingest totals. offer is the per-batch call — stream or
+// group ingest. Each worker owns a disjoint set of ids (single writer
+// per stream/group) and round-robins batches across them, phase-rotated
+// so concurrent ids replay different parts of the base series at any
+// instant.
+func hammer(cfg loadConfig, ids []string, base []float64, offer func(id string, batch []float64) (int, error)) (ticks, kept int64, elapsed time.Duration, err error) {
+	var totalKept, totalTicks atomic.Int64
+	var errMu sync.Mutex
+	var firstErr error
+	fail := func(err error) {
+		errMu.Lock()
+		if firstErr == nil {
+			firstErr = err
+		}
+		errMu.Unlock()
+	}
+	var wg sync.WaitGroup
+	start := time.Now()
+	for w := 0; w < cfg.workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			type cursor struct {
+				id        string
+				pos, left int
+			}
+			var mine []cursor
+			for i := w; i < len(ids); i += cfg.workers {
+				mine = append(mine, cursor{id: ids[i], pos: (i * 7919) % len(base), left: cfg.ticks})
+			}
+			for live := len(mine); live > 0; {
+				live = 0
+				for j := range mine {
+					c := &mine[j]
+					if c.left == 0 {
+						continue
+					}
+					n := cfg.batch
+					if n > c.left {
+						n = c.left
+					}
+					if n > len(base)-c.pos {
+						n = len(base) - c.pos
+					}
+					kept, err := offer(c.id, base[c.pos:c.pos+n])
+					if err != nil {
+						fail(err)
+						return
+					}
+					totalKept.Add(int64(kept))
+					totalTicks.Add(int64(n))
+					c.left -= n
+					c.pos = (c.pos + n) % len(base)
+					if c.left > 0 {
+						live++
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	elapsed = time.Since(start)
+	if firstErr != nil {
+		return 0, 0, 0, firstErr
+	}
+	return totalTicks.Load(), totalKept.Load(), elapsed, nil
 }

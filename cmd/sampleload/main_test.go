@@ -345,3 +345,145 @@ func TestBadEstimatorRejected(t *testing.T) {
 		t.Error("unknown estimator accepted")
 	}
 }
+
+// groupFakeDaemon extends fakeDaemon with the v2 group surface, enough
+// for the HTTP driver's -compare mode.
+func groupFakeDaemon(h *hub.Hub) http.Handler {
+	mux := fakeDaemon(h).(*http.ServeMux)
+	mux.HandleFunc("PUT /v1/groups/{id}", func(w http.ResponseWriter, r *http.Request) {
+		var req struct {
+			Specs     []sampling.Spec `json:"specs"`
+			Estimator string          `json:"estimator"`
+		}
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		var opts []sampling.Option
+		if req.Estimator != "" {
+			opts = append(opts, sampling.WithEstimator(estimate.Method(req.Estimator)))
+		}
+		if err := h.CreateGroup(r.PathValue("id"), req.Specs, opts...); err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		w.WriteHeader(http.StatusCreated)
+	})
+	mux.HandleFunc("POST /v1/groups/{id}/ticks", func(w http.ResponseWriter, r *http.Request) {
+		var values []float64
+		if err := json.NewDecoder(r.Body).Decode(&values); err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		kept, err := h.OfferGroupBatch(r.PathValue("id"), values)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusNotFound)
+			return
+		}
+		json.NewEncoder(w).Encode(map[string]int{"accepted": len(values), "kept": kept})
+	})
+	mux.HandleFunc("GET /v1/groups/{id}", func(w http.ResponseWriter, r *http.Request) {
+		cmp, err := h.GroupSnapshot(r.PathValue("id"))
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusNotFound)
+			return
+		}
+		json.NewEncoder(w).Encode(cmp)
+	})
+	mux.HandleFunc("DELETE /v1/groups/{id}", func(w http.ResponseWriter, r *http.Request) {
+		if _, _, err := h.FinishGroup(r.PathValue("id")); err != nil {
+			http.Error(w, err.Error(), http.StatusNotFound)
+			return
+		}
+		w.Write([]byte("{}"))
+	})
+	return mux
+}
+
+// TestCompareDirect: -compare mode over the in-process hub produces one
+// fidelity row per technique, with the deterministic technique's kept
+// ratio exact.
+func TestCompareDirect(t *testing.T) {
+	cfg := loadConfig{
+		direct:    true,
+		streams:   4,
+		ticks:     20000, // a multiple of the systematic interval, so kept% is exact
+		batch:     512,
+		workers:   2,
+		compare:   "systematic:interval=100;bernoulli:rate=0.01;bss:interval=100,L=5,eps=1.0",
+		traffic:   "fgn",
+		hurst:     0.8,
+		seed:      1,
+		estimator: "aggvar",
+	}
+	var buf bytes.Buffer
+	if err := runCompare(cfg, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"3 techniques", "mean-bias", "h-drift",
+		"systematic:interval=100", "bernoulli:rate=0.01", "bss:L=5,eps=1.0,interval=100",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	// interval=100 keeps exactly 1% of every group's input.
+	if !strings.Contains(out, "systematic:interval=100                1.000%") {
+		t.Errorf("systematic kept%% row wrong:\n%s", out)
+	}
+	// The aggvar estimator resolves on 20k fGn ticks: the drift column
+	// must carry numbers, not n/a.
+	for _, line := range strings.Split(out, "\n") {
+		if strings.HasPrefix(line, "systematic:interval=100") && strings.Contains(line, "n/a") {
+			t.Errorf("systematic fidelity unresolved:\n%s", out)
+		}
+	}
+}
+
+// TestCompareHTTP drives -compare over the wire, including the
+// comparison-document round trip.
+func TestCompareHTTP(t *testing.T) {
+	h := hub.New()
+	srv := httptest.NewServer(groupFakeDaemon(h))
+	defer srv.Close()
+	cfg := loadConfig{
+		addr:      srv.URL,
+		streams:   2,
+		ticks:     4000,
+		batch:     500,
+		workers:   2,
+		compare:   "systematic:interval=50;stratified:interval=50",
+		traffic:   "fgn",
+		hurst:     0.8,
+		seed:      3,
+		estimator: "off",
+	}
+	var buf bytes.Buffer
+	if err := runCompare(cfg, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if st := h.Stats(); st.Groups != 0 || st.GroupsCreated != 2 {
+		t.Errorf("groups not torn down: %+v", st)
+	}
+	if !strings.Contains(buf.String(), "(h-drift needs an estimator") {
+		t.Errorf("estimator-off note missing:\n%s", buf.String())
+	}
+}
+
+func TestCompareBadFlags(t *testing.T) {
+	var buf bytes.Buffer
+	base := loadConfig{direct: true, streams: 1, ticks: 64, batch: 64, workers: 1,
+		traffic: "fgn", hurst: 0.8}
+	one := base
+	one.compare = "systematic:interval=10"
+	if err := runCompare(one, &buf); err == nil {
+		t.Error("single-spec compare accepted")
+	}
+	bad := base
+	bad.compare = "systematic:interval=10;:broken"
+	if err := runCompare(bad, &buf); err == nil {
+		t.Error("bad compare spec accepted")
+	}
+}

@@ -1,6 +1,10 @@
-// Quickstart: generate a self-similar traffic trace, sample it with the
-// three classic techniques and with BSS through the public sampling API,
-// and compare the mean estimates — the paper's core story in ~80 lines.
+// Quickstart: generate a self-similar traffic trace, run the three
+// classic techniques side by side in one comparison group (the v2
+// public API: sampling.NewGroup fans the same ticks to every member and
+// scores each against the unsampled input), then add BSS with its
+// designed parameters — the paper's core story in ~80 lines. See
+// examples/compare for the full five-technique comparison with live
+// Hurst drift.
 //
 //	go run ./examples/quickstart
 package main
@@ -39,30 +43,27 @@ func main() {
 		fmt.Printf("wavelet Hurst estimate: %.3f (H > 0.5 means LRD)\n", est.H)
 	}
 
-	// 3. Sample at rate 1e-3 with every classic technique. Each run is one
-	// engine built from a typed spec; seeds come in as functional options.
+	// 3. Sample at rate 1e-3 with every classic technique — side by side
+	// in one comparison group, so all three judge the identical stream
+	// and the fidelity scores come straight off the snapshot (the v2
+	// surface; seeds ride in the specs because options apply group-wide).
 	const interval = 1000
 	n := len(f) / interval
-	runs := []struct {
-		spec string
-		opts []sampling.Option
-	}{
-		{fmt.Sprintf("systematic:interval=%d", interval), nil},
-		{fmt.Sprintf("stratified:interval=%d", interval), []sampling.Option{sampling.WithSeed(1)}},
-		{fmt.Sprintf("simple:n=%d", n), []sampling.Option{sampling.WithSeed(2)}},
+	group, err := sampling.NewGroup([]sampling.Spec{
+		sampling.MustParse(fmt.Sprintf("systematic:interval=%d", interval)),
+		sampling.MustParse(fmt.Sprintf("stratified:interval=%d,seed=1", interval)),
+		sampling.MustParse(fmt.Sprintf("simple:n=%d,seed=2", n)),
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if _, err := group.Sample(f); err != nil {
+		log.Fatal(err)
 	}
 	fmt.Printf("\n%-14s  %10s  %8s  %8s\n", "technique", "mean", "eta", "samples")
-	for _, r := range runs {
-		eng, err := sampling.New(sampling.MustParse(r.spec), r.opts...)
-		if err != nil {
-			log.Fatal(err)
-		}
-		samples, err := eng.Sample(f)
-		if err != nil {
-			log.Fatal(err)
-		}
-		m := sampling.MeanOf(samples)
-		fmt.Printf("%-14s  %10.4f  %8.4f  %8d\n", eng.Technique(), m, sampling.Eta(m, realMean), len(samples))
+	for _, mem := range group.Snapshot().Members {
+		fmt.Printf("%-14s  %10.4f  %8.4f  %8d\n",
+			mem.Summary.Technique, mem.Summary.Mean, mem.Fidelity.MeanBias, mem.Summary.Kept)
 	}
 
 	// 4. BSS: design L for the typical bias via the paper's Eq. (23), then

@@ -1,0 +1,68 @@
+package repro_test
+
+// The batch-ingest guard: Engine.Offer is the documented single-tick
+// convenience form of OfferBatch, and the hot ingest layers — the hub,
+// the sampled daemon, the sampleload generator — must stay on the batch
+// form (one lock acquisition per batch, not per tick). This test parses
+// those packages' sources and fails on any call spelled `.Offer(...)`,
+// so a refactor that quietly reintroduces per-tick locking on a hot
+// path breaks the build gate instead of only the benchmarks.
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// hotPathDirs are the ingest layers held to the batch form. Test files
+// are exempt: equivalence tests deliberately drive the tick path as the
+// reference.
+var hotPathDirs = []string{
+	"sampling/hub",
+	"cmd/sampled",
+	"cmd/sampleload",
+}
+
+func TestHotPathsUseBatchOffer(t *testing.T) {
+	for _, dir := range hotPathDirs {
+		entries, err := os.ReadDir(dir)
+		if err != nil {
+			t.Fatalf("reading %s: %v", dir, err)
+		}
+		sawSource := false
+		for _, e := range entries {
+			name := e.Name()
+			if !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+				continue
+			}
+			sawSource = true
+			path := filepath.Join(dir, name)
+			fset := token.NewFileSet()
+			file, err := parser.ParseFile(fset, path, nil, 0)
+			if err != nil {
+				t.Fatalf("parsing %s: %v", path, err)
+			}
+			ast.Inspect(file, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				sel, ok := call.Fun.(*ast.SelectorExpr)
+				if !ok || sel.Sel.Name != "Offer" {
+					return true
+				}
+				pos := fset.Position(sel.Sel.Pos())
+				t.Errorf("%s:%d: hot path calls .Offer — use OfferBatch (Offer is the single-tick convenience form)",
+					path, pos.Line)
+				return true
+			})
+		}
+		if !sawSource {
+			t.Fatalf("%s holds no non-test Go sources — guard list stale", dir)
+		}
+	}
+}

@@ -1,8 +1,10 @@
-// Package sampling is the public, versioned API (v1) of the traffic
+// Package sampling is the public, versioned API of the traffic
 // sampling library: typed sampler specs, functional options, live
-// streaming engines with non-destructive snapshots, and the paper's
-// evaluation metrics. internal/core holds the implementation this
-// package wraps; everything a consumer needs is exported here.
+// streaming engines with batch-first ingest and non-destructive
+// snapshots, comparison groups with per-technique fidelity scoring
+// (the v2 surface), and the paper's evaluation metrics. internal/core
+// holds the implementation this package wraps; everything a consumer
+// needs is exported here.
 //
 // # Specs
 //
@@ -47,6 +49,50 @@
 // The batch form of the paper's figures, Engine.Sample, drives the same
 // engine over a whole series, so streaming and batch output are
 // identical by construction.
+//
+// Ingest is batch-first: Engine.OfferBatch feeds a slice of ticks
+// under one lock acquisition and returns how many samples the batch
+// finalized. Offer is its single-tick convenience form — correct, but
+// paying one lock per tick — so hot loops (the hub, the sampled
+// daemon, sampleload) stay on the batch form:
+//
+//	kept := eng.OfferBatch(ticks) // atomic w.r.t. Snapshot and Finish
+//
+// # Comparison groups (v2)
+//
+// The paper's core experiment — competing techniques judged on the
+// same self-similar input — is a first-class object. NewGroup builds
+// one engine per spec, all fed the identical stream; the group itself
+// keeps the unsampled reference (a shared accumulator and, with
+// WithEstimator, a single shared input-side Hurst estimator, so the
+// input work is paid once per tick, not once per member):
+//
+//	g, err := sampling.NewGroup([]sampling.Spec{
+//	    sampling.MustParse("systematic:interval=100"),
+//	    sampling.MustParse("bss:interval=100,L=10,eps=1.0"),
+//	}, sampling.WithEstimator(estimate.AggVar))
+//	g.OfferBatch(ticks)
+//	cmp := g.Snapshot() // a Comparison
+//
+// A Comparison carries the input reference (Seen, Mean, Variance, the
+// shared Hurst point) plus one TechniqueReport per member: its Summary
+// (Hurst input side filled from the shared estimator) and a Fidelity
+// block — kept ratio, mean and variance bias in the paper's eta
+// convention (positive = under-estimation), and the kept-minus-input
+// Hurst drift. Every member is observed at the same tick count, and a
+// member's kept samples are byte-identical to a standalone Engine fed
+// the same stream. Group.Sample is the batch form: one call, one
+// []Sample per technique.
+//
+// On the wire a Comparison follows Summary's null-for-NaN convention
+// (served by the sampled daemon under /v1/groups/{id}):
+//
+//	{"seen":100000,"mean":50000.5,"variance":8.3e8,"method":"aggvar",
+//	 "hurst":{"h":0.79,"beta":0.42,"levels":13,"ticks":100000,"ok":true},
+//	 "members":[{"summary":{"technique":"systematic",...},
+//	             "fidelity":{"kept_ratio":0.01,"mean_bias":0.0004,
+//	                         "variance_bias":-0.002,"hurst_drift":null}}],
+//	 "finished":false,"at":"...","uptime_ns":123}
 //
 // # Online Hurst estimation
 //

@@ -111,12 +111,44 @@ func (e *Engine) Spec() Spec {
 // and returns the sample this tick finalized, if any — possibly carrying
 // an earlier index when the technique defers its decision (stratified
 // picks, BSS probes). After Finish, Offer is a no-op returning false.
+//
+// Offer is the single-tick convenience form of OfferBatch: it pays one
+// mutex acquisition per tick, so ingest loops that already hold their
+// ticks in a slice should call OfferBatch instead (the hub, the sampled
+// daemon and sampleload all do).
 func (e *Engine) Offer(value float64) (Sample, bool) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	if e.finished {
 		return Sample{}, false
 	}
+	return e.offerOne(value)
+}
+
+// OfferBatch presents a batch of ticks in stream order and returns how
+// many samples the batch finalized. It is the ingest hot path: the
+// engine mutex is acquired once for the whole batch and both the
+// technique and any attached estimators are fed in a tight loop, where
+// Offer would pay one lock acquisition per tick. The batch is atomic
+// with respect to Finish and Snapshot — an observer sees either none or
+// all of it. After Finish, OfferBatch is a no-op returning 0.
+func (e *Engine) OfferBatch(values []float64) (kept int) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.finished {
+		return 0
+	}
+	for _, v := range values {
+		if _, ok := e.offerOne(v); ok {
+			kept++
+		}
+	}
+	return kept
+}
+
+// offerOne advances the stream by one tick. Callers hold e.mu and have
+// checked e.finished.
+func (e *Engine) offerOne(value float64) (Sample, bool) {
 	idx := e.seen
 	e.seen++
 	if e.estIn != nil {
@@ -212,6 +244,19 @@ func (e *Engine) Snapshot() Summary {
 		s.Hurst = newHurstSummary(e.estIn.Estimate(), e.estKept.Estimate())
 	}
 	return s
+}
+
+// keptEstimate returns the live kept-side Hurst estimate, zero when the
+// engine carries no kept-side estimator. Group.Snapshot pairs it with
+// the group's shared input-side estimate; a standalone engine reports
+// both sides through Snapshot().Hurst instead.
+func (e *Engine) keptEstimate() estimate.Estimate {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.estKept == nil {
+		return estimate.Estimate{}
+	}
+	return e.estKept.Estimate()
 }
 
 // ci95 computes the normal-approximation 95% confidence interval for the

@@ -348,3 +348,83 @@ func TestEngineFinished(t *testing.T) {
 		t.Error("finished engine reports live")
 	}
 }
+
+// TestOfferBatchMatchesOffer is the batch-ingest half of the
+// equivalence story: for every technique, OfferBatch over ragged chunks
+// must leave the engine in exactly the state tick-by-tick Offer does —
+// same counters, same moments, same end-of-stream tail — and its kept
+// counts must sum to the snapshot's. OfferBatch is what the hub, the
+// daemon and the load generator drive, so this is the wire path's
+// correctness anchor.
+func TestOfferBatchMatchesOffer(t *testing.T) {
+	f := heavyTrace(1 << 13)
+	for _, spec := range equalitySpecs {
+		batched, err := New(MustParse(spec))
+		if err != nil {
+			t.Fatalf("New(%q): %v", spec, err)
+		}
+		ticked, err := New(MustParse(spec))
+		if err != nil {
+			t.Fatal(err)
+		}
+		kept := 0
+		for off := 0; off < len(f); {
+			end := off + 129 // deliberately not a divisor of the length
+			if end > len(f) {
+				end = len(f)
+			}
+			kept += batched.OfferBatch(f[off:end])
+			off = end
+		}
+		tickKept := 0
+		for _, v := range f {
+			if _, ok := ticked.Offer(v); ok {
+				tickKept++
+			}
+		}
+		if kept != tickKept {
+			t.Errorf("%s: OfferBatch kept %d, Offer kept %d", spec, kept, tickKept)
+		}
+		batchTail, err := batched.Finish()
+		if err != nil {
+			t.Fatal(err)
+		}
+		tickTail, err := ticked.Finish()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(batchTail, tickTail) {
+			t.Errorf("%s: batch tail differs from tick tail (%d vs %d samples)", spec, len(batchTail), len(tickTail))
+		}
+		got, want := batched.Snapshot(), ticked.Snapshot()
+		if got.Seen != want.Seen || got.Kept != want.Kept || got.Qualified != want.Qualified ||
+			got.Mean != want.Mean || got.Variance != want.Variance {
+			t.Errorf("%s: batch snapshot diverged:\n got %+v\nwant %+v", spec, got, want)
+		}
+		if got.Kept != kept+len(batchTail) {
+			t.Errorf("%s: kept counts don't add up: snapshot %d, offers %d + tail %d",
+				spec, got.Kept, kept, len(batchTail))
+		}
+	}
+}
+
+// TestOfferBatchAfterFinish: a finished engine ignores batches without
+// advancing any counter.
+func TestOfferBatchAfterFinish(t *testing.T) {
+	eng, err := New(MustParse("systematic:interval=2"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if kept := eng.OfferBatch([]float64{1, 2, 3, 4}); kept != 2 {
+		t.Fatalf("kept %d of the warmup batch, want 2", kept)
+	}
+	if _, err := eng.Finish(); err != nil {
+		t.Fatal(err)
+	}
+	if kept := eng.OfferBatch([]float64{5, 6}); kept != 0 {
+		t.Errorf("post-finish OfferBatch kept %d", kept)
+	}
+	if sum := eng.Snapshot(); sum.Seen != 4 {
+		t.Errorf("post-finish OfferBatch advanced seen to %d", sum.Seen)
+	}
+}

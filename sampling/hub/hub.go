@@ -1,7 +1,12 @@
 // Package hub multiplexes many named sampling streams over live
 // engines — the concurrency layer between the single-stream
 // sampling.Engine and a measurement service watching thousands of
-// traffic streams at once.
+// traffic streams at once. Alongside plain streams it hosts comparison
+// groups (sampling.Group): one input stream fanned out to several
+// techniques, snapshot as a sampling.Comparison. Groups live in their
+// own id namespace (CreateGroup/OfferGroupBatch/GroupSnapshot/
+// FinishGroup) with the same lifecycle, eviction and typed errors as
+// streams.
 //
 // A Hub is lock-striped: stream ids hash onto a fixed set of shards,
 // each with its own mutex and stream table, so operations on unrelated
@@ -50,26 +55,41 @@ type stream struct {
 	lastActive atomic.Int64 // unix nanoseconds of the last Create/OfferBatch
 }
 
-// shard is one stripe of the hub: a mutex-guarded stream table plus
-// cumulative tick/kept counters. The counters are atomics and survive
-// stream removal, so aggregate Stats stays cheap and monotonic.
+// groupStream is one live comparison group, the group-id namespace's
+// counterpart of stream.
+type groupStream struct {
+	group      *sampling.Group
+	lastActive atomic.Int64 // unix nanoseconds of the last CreateGroup/OfferGroupBatch
+}
+
+// shard is one stripe of the hub: mutex-guarded stream and group tables
+// plus cumulative tick/kept counters. The counters are atomics and
+// survive stream removal, so aggregate Stats stays cheap and monotonic.
+// Stream and group counters are separate — a group tick fans out to N
+// engines, so folding the two together would make neither rate
+// meaningful.
 type shard struct {
-	mu      sync.RWMutex
-	streams map[string]*stream
-	ticks   atomic.Int64
-	kept    atomic.Int64
+	mu         sync.RWMutex
+	streams    map[string]*stream
+	groups     map[string]*groupStream
+	ticks      atomic.Int64
+	kept       atomic.Int64
+	groupTicks atomic.Int64
+	groupKept  atomic.Int64
 }
 
 // Hub manages a set of named sampling streams across lock-striped
 // shards. The zero value is not usable; build hubs with New.
 type Hub struct {
-	shards  []shard
-	mask    uint64
-	clock   func() time.Time
-	ttl     time.Duration
-	start   time.Time
-	created atomic.Int64
-	evicted atomic.Int64
+	shards        []shard
+	mask          uint64
+	clock         func() time.Time
+	ttl           time.Duration
+	start         time.Time
+	created       atomic.Int64
+	evicted       atomic.Int64
+	groupsCreated atomic.Int64
+	groupsEvicted atomic.Int64
 }
 
 // Option configures a Hub at construction; see New.
@@ -116,6 +136,7 @@ func New(opts ...Option) *Hub {
 	}
 	for i := range h.shards {
 		h.shards[i].streams = make(map[string]*stream)
+		h.shards[i].groups = make(map[string]*groupStream)
 	}
 	h.mask = uint64(len(h.shards) - 1)
 	h.start = h.clock()
@@ -183,23 +204,22 @@ func (h *Hub) Create(id string, spec sampling.Spec, opts ...sampling.Option) err
 
 // OfferBatch feeds a batch of ticks to a stream in order and returns
 // how many samples the batch finalized. It is the hot path: the shard
-// lock covers only the id lookup, and the per-tick work happens on the
-// engine's own lock. Ticks within one stream must come from a single
-// goroutine (batches from concurrent writers would interleave
-// unpredictably); batches for different streams run fully in parallel.
+// lock covers only the id lookup, and the whole batch runs under one
+// acquisition of the engine's lock (Engine.OfferBatch), never one per
+// tick. Ticks within one stream must come from a single goroutine
+// (batches from concurrent writers would interleave unpredictably);
+// batches for different streams run fully in parallel.
 func (h *Hub) OfferBatch(id string, values []float64) (kept int, err error) {
 	sh, st, err := h.get(id)
 	if err != nil {
 		return 0, err
 	}
-	for _, v := range values {
-		if _, ok := st.engine.Offer(v); ok {
-			kept++
-		}
-	}
-	// A concurrent Finish (or Sweep eviction) between the lookup and the
-	// offers turns Engine.Offer into a silent no-op; without this check
-	// the batch would report success and count ticks no engine saw.
+	kept = st.engine.OfferBatch(values)
+	// A concurrent Finish (or Sweep eviction) around the batch turns
+	// Engine.OfferBatch into a silent no-op; without this check the
+	// batch would report success and count ticks no engine saw. The
+	// batch itself is atomic under the engine lock, so Finish can no
+	// longer land mid-batch.
 	if st.engine.Finished() {
 		return kept, fmt.Errorf("hub: stream %q: finished while offering: %w", id, ErrStreamNotFound)
 	}
@@ -237,6 +257,121 @@ func (h *Hub) Finish(id string) ([]sampling.Sample, sampling.Summary, error) {
 	return tail, st.engine.Snapshot(), err
 }
 
+// getGroup resolves a live group (and its shard) or fails with
+// ErrStreamNotFound. Groups live in their own id namespace: a group and
+// a stream may share an id without colliding.
+func (h *Hub) getGroup(id string) (*shard, *groupStream, error) {
+	sh := h.shardOf(id)
+	sh.mu.RLock()
+	gs := sh.groups[id]
+	sh.mu.RUnlock()
+	if gs == nil {
+		return nil, nil, fmt.Errorf("hub: group %q: %w", id, ErrStreamNotFound)
+	}
+	return sh, gs, nil
+}
+
+// CreateGroup builds a comparison group from the specs (one member
+// engine per spec; options as in sampling.NewGroup, so WithEstimator
+// attaches the shared input-side estimator) and registers it under id
+// in the group namespace. Failure modes mirror Create: ErrInvalidID,
+// ErrStreamExists for a live group id, and engine construction errors
+// with their types intact.
+func (h *Hub) CreateGroup(id string, specs []sampling.Spec, opts ...sampling.Option) error {
+	if id == "" {
+		return fmt.Errorf("hub: empty group id: %w", ErrInvalidID)
+	}
+	all := make([]sampling.Option, 0, len(opts)+1)
+	all = append(append(all, opts...), sampling.WithClock(h.clock))
+	grp, err := sampling.NewGroup(specs, all...)
+	if err != nil {
+		return err
+	}
+	gs := &groupStream{group: grp}
+	gs.lastActive.Store(h.clock().UnixNano())
+	sh := h.shardOf(id)
+	sh.mu.Lock()
+	if _, dup := sh.groups[id]; dup {
+		sh.mu.Unlock()
+		return fmt.Errorf("hub: group %q: %w", id, ErrStreamExists)
+	}
+	sh.groups[id] = gs
+	sh.mu.Unlock()
+	h.groupsCreated.Add(1)
+	return nil
+}
+
+// OfferGroupBatch feeds a batch of ticks to every member of a group in
+// order and returns how many samples the batch finalized across all
+// members. The ingest contract matches OfferBatch: one writer per
+// group, any number of concurrent observers, batches for different
+// groups fully parallel. The group's tick counter counts input ticks,
+// not input x members.
+func (h *Hub) OfferGroupBatch(id string, values []float64) (kept int, err error) {
+	sh, gs, err := h.getGroup(id)
+	if err != nil {
+		return 0, err
+	}
+	kept = gs.group.OfferBatch(values)
+	// Same race check as OfferBatch: a concurrent FinishGroup or Sweep
+	// eviction turns the offer into a silent no-op.
+	if gs.group.Finished() {
+		return kept, fmt.Errorf("hub: group %q: finished while offering: %w", id, ErrStreamNotFound)
+	}
+	gs.lastActive.Store(h.clock().UnixNano())
+	sh.groupTicks.Add(int64(len(values)))
+	sh.groupKept.Add(int64(kept))
+	return kept, nil
+}
+
+// GroupSnapshot returns the group's live comparison without disturbing
+// it.
+func (h *Hub) GroupSnapshot(id string) (sampling.Comparison, error) {
+	_, gs, err := h.getGroup(id)
+	if err != nil {
+		return sampling.Comparison{}, err
+	}
+	return gs.group.Snapshot(), nil
+}
+
+// FinishGroup ends a group: every member is finalized, the per-member
+// end-of-stream tails are returned together with the final comparison,
+// and the id is released for reuse. Member finalization errors do not
+// block removal; they come back joined and stay visible in the member
+// summaries.
+func (h *Hub) FinishGroup(id string) ([][]sampling.Sample, sampling.Comparison, error) {
+	sh := h.shardOf(id)
+	sh.mu.Lock()
+	gs := sh.groups[id]
+	delete(sh.groups, id)
+	sh.mu.Unlock()
+	if gs == nil {
+		return nil, sampling.Comparison{}, fmt.Errorf("hub: group %q: %w", id, ErrStreamNotFound)
+	}
+	tails, err := gs.group.Finish()
+	var n int64
+	for _, tail := range tails {
+		n += int64(len(tail))
+	}
+	sh.groupKept.Add(n)
+	return tails, gs.group.Snapshot(), err
+}
+
+// ListGroups returns the ids of every live group, sorted.
+func (h *Hub) ListGroups() []string {
+	var out []string
+	for i := range h.shards {
+		sh := &h.shards[i]
+		sh.mu.RLock()
+		for id := range sh.groups {
+			out = append(out, id)
+		}
+		sh.mu.RUnlock()
+	}
+	sort.Strings(out)
+	return out
+}
+
 // List returns the ids of every live stream, sorted.
 func (h *Hub) List() []string {
 	var out []string
@@ -264,16 +399,17 @@ func (h *Hub) Len() int {
 	return n
 }
 
-// Sweep evicts every stream idle for longer than the hub's TTL and
-// returns how many it removed. Evicted engines are finalized (their
-// end-of-stream samples are dropped — nobody is listening). With no TTL
-// configured Sweep is a no-op; a service calls it on a timer.
+// Sweep evicts every stream and group idle for longer than the hub's
+// TTL and returns how many it removed. Evicted engines are finalized
+// (their end-of-stream samples are dropped — nobody is listening). With
+// no TTL configured Sweep is a no-op; a service calls it on a timer.
 func (h *Hub) Sweep() int {
 	if h.ttl <= 0 {
 		return 0
 	}
 	cutoff := h.clock().Add(-h.ttl).UnixNano()
 	var dead []*stream
+	var deadGroups []*groupStream
 	for i := range h.shards {
 		sh := &h.shards[i]
 		sh.mu.Lock()
@@ -281,6 +417,12 @@ func (h *Hub) Sweep() int {
 			if st.lastActive.Load() < cutoff {
 				delete(sh.streams, id)
 				dead = append(dead, st)
+			}
+		}
+		for id, gs := range sh.groups {
+			if gs.lastActive.Load() < cutoff {
+				delete(sh.groups, id)
+				deadGroups = append(deadGroups, gs)
 			}
 		}
 		sh.mu.Unlock()
@@ -291,8 +433,12 @@ func (h *Hub) Sweep() int {
 	for _, st := range dead {
 		st.engine.Finish()
 	}
+	for _, gs := range deadGroups {
+		gs.group.Finish()
+	}
 	h.evicted.Add(int64(len(dead)))
-	return len(dead)
+	h.groupsEvicted.Add(int64(len(deadGroups)))
+	return len(dead) + len(deadGroups)
 }
 
 // Stats is the hub's aggregate state, shaped for metrics scraping:
@@ -306,6 +452,15 @@ type Stats struct {
 	Kept        int64         // samples kept over the hub's lifetime
 	Uptime      time.Duration // since New
 	TicksPerSec float64       // Ticks / Uptime — lifetime average
+
+	// The comparison-group counterparts. GroupTicks counts input ticks
+	// (each of which fans out to every member engine of its group);
+	// GroupKept counts samples kept across all members.
+	Groups        int   // live comparison groups right now
+	GroupsCreated int64 // groups ever created
+	GroupsEvicted int64 // groups removed by Sweep
+	GroupTicks    int64 // ticks offered to groups over the hub's lifetime
+	GroupKept     int64 // samples kept by group members over the hub's lifetime
 }
 
 // HurstStats aggregates the live long-range-dependence estimates over
@@ -375,14 +530,22 @@ func (h *Hub) Hurst() HurstStats {
 // the number of streams, so it is safe to scrape at high frequency.
 func (h *Hub) Stats() Stats {
 	s := Stats{
-		Streams: h.Len(),
-		Created: h.created.Load(),
-		Evicted: h.evicted.Load(),
-		Uptime:  h.clock().Sub(h.start),
+		Created:       h.created.Load(),
+		Evicted:       h.evicted.Load(),
+		GroupsCreated: h.groupsCreated.Load(),
+		GroupsEvicted: h.groupsEvicted.Load(),
+		Uptime:        h.clock().Sub(h.start),
 	}
 	for i := range h.shards {
-		s.Ticks += h.shards[i].ticks.Load()
-		s.Kept += h.shards[i].kept.Load()
+		sh := &h.shards[i]
+		s.Ticks += sh.ticks.Load()
+		s.Kept += sh.kept.Load()
+		s.GroupTicks += sh.groupTicks.Load()
+		s.GroupKept += sh.groupKept.Load()
+		sh.mu.RLock()
+		s.Streams += len(sh.streams)
+		s.Groups += len(sh.groups)
+		sh.mu.RUnlock()
 	}
 	if sec := s.Uptime.Seconds(); sec > 0 {
 		s.TicksPerSec = float64(s.Ticks) / sec

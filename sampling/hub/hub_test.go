@@ -429,3 +429,247 @@ func TestHubHurstEmpty(t *testing.T) {
 		t.Errorf("zero-state means should be NaN: %+v", st)
 	}
 }
+
+// TestHubBatchVsTickEquivalence: the hub's batch ingest (now one
+// engine-lock acquisition per batch) must leave a stream in exactly the
+// state a tick-by-tick standalone engine reaches — identical kept
+// samples, observed through the end-of-stream tail and the full
+// snapshot counters/moments — for every registered technique.
+func TestHubBatchVsTickEquivalence(t *testing.T) {
+	const nTicks = 2000
+	h := hub.New()
+	for i := 0; i < 5; i++ {
+		id := fmt.Sprintf("eq-%d", i)
+		if err := h.Create(id, testSpec(i)); err != nil {
+			t.Fatal(err)
+		}
+		series := testSeries(i, nTicks)
+		var kept int
+		for off := 0; off < nTicks; {
+			end := off + 97 // deliberately not a divisor of nTicks
+			if end > nTicks {
+				end = nTicks
+			}
+			n, err := h.OfferBatch(id, series[off:end])
+			if err != nil {
+				t.Fatal(err)
+			}
+			kept += n
+			off = end
+		}
+		ref, err := sampling.New(testSpec(i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		refKept := 0
+		for _, v := range series {
+			if _, ok := ref.Offer(v); ok {
+				refKept++
+			}
+		}
+		if kept != refKept {
+			t.Errorf("stream %d (%s): hub batches kept %d, tick engine kept %d", i, testSpec(i), kept, refKept)
+		}
+		tail, sum, err := h.Finish(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		refTail, err := ref.Finish()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(tail) != len(refTail) {
+			t.Fatalf("stream %d: tail %d vs %d samples", i, len(tail), len(refTail))
+		}
+		for j := range tail {
+			if tail[j] != refTail[j] {
+				t.Errorf("stream %d: tail sample %d = %+v, want %+v", i, j, tail[j], refTail[j])
+				break
+			}
+		}
+		want := ref.Snapshot()
+		if sum.Seen != want.Seen || sum.Kept != want.Kept || sum.Qualified != want.Qualified ||
+			!sameFloat(sum.Mean, want.Mean) || !sameFloat(sum.Variance, want.Variance) {
+			t.Errorf("stream %d (%s) diverged from tick engine:\n got seen=%d kept=%d mean=%g var=%g\nwant seen=%d kept=%d mean=%g var=%g",
+				i, testSpec(i), sum.Seen, sum.Kept, sum.Mean, sum.Variance,
+				want.Seen, want.Kept, want.Mean, want.Variance)
+		}
+	}
+}
+
+// groupSpecs is the five-technique member list the group tests share.
+func groupSpecs() []sampling.Spec {
+	return []sampling.Spec{
+		sampling.MustParse("systematic:interval=7,offset=3"),
+		sampling.MustParse("stratified:interval=5,seed=101"),
+		sampling.MustParse("simple:n=20,seed=4"),
+		sampling.MustParse("bernoulli:rate=0.2,seed=102"),
+		sampling.MustParse("bss:interval=10,L=3,eps=0.5"),
+	}
+}
+
+// TestHubGroupLifecycle drives a comparison group through the hub:
+// create, batch ingest, snapshot (members all observed at the group's
+// tick count, each identical to a standalone engine), finish with
+// tails, id release, and the group stat counters.
+func TestHubGroupLifecycle(t *testing.T) {
+	h := hub.New()
+	specs := groupSpecs()
+	if err := h.CreateGroup("g", specs); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.CreateGroup("g", specs); !errors.Is(err, hub.ErrStreamExists) {
+		t.Errorf("duplicate group create: got %v, want ErrStreamExists", err)
+	}
+	if err := h.CreateGroup("", specs); !errors.Is(err, hub.ErrInvalidID) {
+		t.Errorf("empty group id: got %v, want ErrInvalidID", err)
+	}
+	if err := h.CreateGroup("bad", []sampling.Spec{sampling.MustParse("warp-drive")}); !errors.Is(err, sampling.ErrUnknownTechnique) {
+		t.Errorf("bad member: got %v, want ErrUnknownTechnique", err)
+	}
+	if err := h.CreateGroup("empty", nil); err == nil {
+		t.Error("spec-less group created without error")
+	}
+
+	series := testSeries(0, 600)
+	kept, err := h.OfferGroupBatch("g", series)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmp, err := h.GroupSnapshot("g")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cmp.Seen != 600 || len(cmp.Members) != len(specs) {
+		t.Fatalf("comparison: seen=%d members=%d", cmp.Seen, len(cmp.Members))
+	}
+	for i, m := range cmp.Members {
+		if m.Summary.Seen != cmp.Seen {
+			t.Errorf("member %d observed at %d ticks inside a %d-tick comparison", i, m.Summary.Seen, cmp.Seen)
+		}
+		ref, err := sampling.New(specs[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		ref.OfferBatch(series)
+		if want := ref.Snapshot(); m.Summary.Kept != want.Kept || !sameFloat(m.Summary.Mean, want.Mean) {
+			t.Errorf("member %d (%s): kept=%d mean=%g, standalone kept=%d mean=%g",
+				i, specs[i], m.Summary.Kept, m.Summary.Mean, want.Kept, want.Mean)
+		}
+	}
+
+	tails, fin, err := h.FinishGroup("g")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tails) != len(specs) || !fin.Finished {
+		t.Fatalf("finish: %d tails, finished=%v", len(tails), fin.Finished)
+	}
+	if len(tails[2]) != 20 {
+		t.Errorf("simple member tail has %d samples, want its full n=20 draw", len(tails[2]))
+	}
+	if _, _, err := h.FinishGroup("g"); !errors.Is(err, hub.ErrStreamNotFound) {
+		t.Errorf("second group finish: got %v, want ErrStreamNotFound", err)
+	}
+	if err := h.CreateGroup("g", specs); err != nil {
+		t.Errorf("group id not released after finish: %v", err)
+	}
+
+	st := h.Stats()
+	if st.Groups != 1 || st.GroupsCreated != 2 {
+		t.Errorf("group stats: %d live / %d created, want 1 / 2", st.Groups, st.GroupsCreated)
+	}
+	if st.GroupTicks != 600 {
+		t.Errorf("group ticks = %d, want 600 (input ticks, not x members)", st.GroupTicks)
+	}
+	if want := int64(kept + len(tails[2])); st.GroupKept != want {
+		t.Errorf("group kept = %d, want %d", st.GroupKept, want)
+	}
+	if st.Ticks != 0 || st.Streams != 0 {
+		t.Errorf("group traffic leaked into stream counters: %+v", st)
+	}
+}
+
+// TestHubGroupNamespace: groups and streams are separate id spaces —
+// the same id can name one of each, and group ops never see streams.
+func TestHubGroupNamespace(t *testing.T) {
+	h := hub.New()
+	if err := h.Create("x", sampling.MustParse("systematic:interval=2")); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.CreateGroup("x", groupSpecs()); err != nil {
+		t.Errorf("group id colliding with stream id: %v", err)
+	}
+	if _, err := h.GroupSnapshot("ghost"); !errors.Is(err, hub.ErrStreamNotFound) {
+		t.Errorf("snapshot of ghost group: got %v", err)
+	}
+	if _, err := h.OfferGroupBatch("ghost", []float64{1}); !errors.Is(err, hub.ErrStreamNotFound) {
+		t.Errorf("offer to ghost group: got %v", err)
+	}
+	if _, err := h.Snapshot("ghost"); !errors.Is(err, hub.ErrStreamNotFound) {
+		t.Errorf("stream snapshot must not see groups: got %v", err)
+	}
+	got := h.ListGroups()
+	if len(got) != 1 || got[0] != "x" {
+		t.Errorf("ListGroups = %v, want [x]", got)
+	}
+	if ids := h.List(); len(ids) != 1 || ids[0] != "x" {
+		t.Errorf("List = %v, want [x]", ids)
+	}
+}
+
+// TestHubGroupSweep: idle groups are evicted on the same TTL as
+// streams, and group activity stamps keep busy groups alive.
+func TestHubGroupSweep(t *testing.T) {
+	clk := &fakeClock{now: time.Unix(1000, 0)}
+	h := hub.New(hub.WithIdleTTL(time.Minute), hub.WithClock(clk.Now))
+	for _, id := range []string{"idle", "busy"} {
+		if err := h.CreateGroup(id, groupSpecs()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	clk.Advance(45 * time.Second)
+	if _, err := h.OfferGroupBatch("busy", []float64{1, 2, 3}); err != nil {
+		t.Fatal(err)
+	}
+	clk.Advance(30 * time.Second)
+	if n := h.Sweep(); n != 1 {
+		t.Fatalf("sweep evicted %d, want 1", n)
+	}
+	if _, err := h.GroupSnapshot("idle"); !errors.Is(err, hub.ErrStreamNotFound) {
+		t.Errorf("idle group survived sweep: %v", err)
+	}
+	if _, err := h.GroupSnapshot("busy"); err != nil {
+		t.Errorf("busy group evicted: %v", err)
+	}
+	if st := h.Stats(); st.GroupsEvicted != 1 || st.Groups != 1 {
+		t.Errorf("stats after sweep: %+v", st)
+	}
+}
+
+// TestHubGroupOfferRacingFinish mirrors the stream race: once
+// FinishGroup wins, OfferGroupBatch must fail with ErrStreamNotFound
+// rather than report success for ticks no engine saw.
+func TestHubGroupOfferRacingFinish(t *testing.T) {
+	h := hub.New()
+	if err := h.CreateGroup("g", groupSpecs()[:2]); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() {
+		var last error
+		for i := 0; i < 100000; i++ {
+			if _, err := h.OfferGroupBatch("g", []float64{1, 2, 3}); err != nil {
+				last = err
+				break
+			}
+		}
+		done <- last
+	}()
+	if _, _, err := h.FinishGroup("g"); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-done; err != nil && !errors.Is(err, hub.ErrStreamNotFound) {
+		t.Errorf("group offer racing finish: got %v, want ErrStreamNotFound (or the writer finished first)", err)
+	}
+}

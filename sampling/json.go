@@ -144,14 +144,10 @@ type hurstJSON struct {
 // MarshalJSON renders the Hurst block with undetermined estimates (and
 // the drift before both sides resolve) as null, never NaN.
 func (h HurstSummary) MarshalJSON() ([]byte, error) {
-	point := func(p HurstPoint) hurstPointJSON {
-		return hurstPointJSON{H: jsonNumber(p.H), Beta: jsonNumber(p.Beta),
-			Levels: p.Levels, Ticks: p.Ticks, OK: p.OK}
-	}
 	return json.Marshal(hurstJSON{
 		Method: string(h.Method),
-		Input:  point(h.Input),
-		Kept:   point(h.Kept),
+		Input:  hurstPointWire(h.Input),
+		Kept:   hurstPointWire(h.Kept),
 		Drift:  jsonNumber(h.Drift),
 	})
 }
@@ -162,14 +158,10 @@ func (h *HurstSummary) UnmarshalJSON(data []byte) error {
 	if err := json.Unmarshal(data, &w); err != nil {
 		return fmt.Errorf("sampling: hurst summary: %w", err)
 	}
-	back := func(p hurstPointJSON) HurstPoint {
-		return HurstPoint{H: backNumber(p.H), Beta: backNumber(p.Beta),
-			Levels: p.Levels, Ticks: p.Ticks, OK: p.OK}
-	}
 	*h = HurstSummary{
 		Method: estimate.Method(w.Method),
-		Input:  back(w.Input),
-		Kept:   back(w.Kept),
+		Input:  hurstPointBack(w.Input),
+		Kept:   hurstPointBack(w.Kept),
 		Drift:  backNumber(w.Drift),
 	}
 	return nil
@@ -181,6 +173,127 @@ func backNumber(p *float64) float64 {
 		return math.NaN()
 	}
 	return *p
+}
+
+// fidelityJSON is the wire form of a Fidelity: every score is a pointer
+// so its legitimate NaN states (nothing kept yet, unresolved Hurst)
+// become JSON null, matching the summary's moment fields.
+type fidelityJSON struct {
+	KeptRatio    *float64 `json:"kept_ratio"`
+	MeanBias     *float64 `json:"mean_bias"`
+	VarianceBias *float64 `json:"variance_bias"`
+	HurstDrift   *float64 `json:"hurst_drift"`
+}
+
+// techniqueReportJSON is the wire form of one member of a comparison.
+type techniqueReportJSON struct {
+	Summary  Summary      `json:"summary"`
+	Fidelity fidelityJSON `json:"fidelity"`
+}
+
+// comparisonJSON is the wire form of a Comparison — the document the
+// sampled daemon serves from GET /v1/groups/{id}. Input moments and the
+// shared Hurst point follow the null-for-NaN convention of Summary.
+type comparisonJSON struct {
+	Seen     int                   `json:"seen"`
+	Mean     *float64              `json:"mean"`
+	Variance *float64              `json:"variance"`
+	Method   string                `json:"method,omitempty"`
+	Hurst    *hurstPointJSON       `json:"hurst,omitempty"`
+	Members  []techniqueReportJSON `json:"members"`
+	Finished bool                  `json:"finished"`
+	At       string                `json:"at"`
+	UptimeNS int64                 `json:"uptime_ns"`
+}
+
+// MarshalJSON renders the comparison with NaN scores and moments as
+// null and At in RFC 3339 with nanosecond precision.
+func (c Comparison) MarshalJSON() ([]byte, error) {
+	w := comparisonJSON{
+		Seen:     c.Seen,
+		Mean:     jsonNumber(c.Mean),
+		Variance: jsonNumber(c.Variance),
+		Method:   string(c.Method),
+		Members:  make([]techniqueReportJSON, len(c.Members)),
+		Finished: c.Finished,
+		At:       c.At.Format(time.RFC3339Nano),
+		UptimeNS: int64(c.Uptime),
+	}
+	if c.Hurst != nil {
+		p := hurstPointWire(*c.Hurst)
+		w.Hurst = &p
+	}
+	for i, m := range c.Members {
+		w.Members[i] = techniqueReportJSON{
+			Summary: m.Summary,
+			Fidelity: fidelityJSON{
+				KeptRatio:    jsonNumber(m.Fidelity.KeptRatio),
+				MeanBias:     jsonNumber(m.Fidelity.MeanBias),
+				VarianceBias: jsonNumber(m.Fidelity.VarianceBias),
+				HurstDrift:   jsonNumber(m.Fidelity.HurstDrift),
+			},
+		}
+	}
+	return json.Marshal(w)
+}
+
+// UnmarshalJSON is the inverse of MarshalJSON: nulls come back as NaN.
+// Unknown top-level fields are rejected, exactly as the sampled daemon
+// rejects them in requests — a misspelled key in a hand-built document
+// must fail loudly, not silently read as the zero comparison.
+func (c *Comparison) UnmarshalJSON(data []byte) error {
+	var w comparisonJSON
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&w); err != nil {
+		return fmt.Errorf("sampling: comparison: %w", err)
+	}
+	out := Comparison{
+		Seen:     w.Seen,
+		Mean:     backNumber(w.Mean),
+		Variance: backNumber(w.Variance),
+		Method:   estimate.Method(w.Method),
+		Members:  make([]TechniqueReport, len(w.Members)),
+		Finished: w.Finished,
+		Uptime:   time.Duration(w.UptimeNS),
+	}
+	if w.Hurst != nil {
+		p := hurstPointBack(*w.Hurst)
+		out.Hurst = &p
+	}
+	for i, m := range w.Members {
+		out.Members[i] = TechniqueReport{
+			Summary: m.Summary,
+			Fidelity: Fidelity{
+				KeptRatio:    backNumber(m.Fidelity.KeptRatio),
+				MeanBias:     backNumber(m.Fidelity.MeanBias),
+				VarianceBias: backNumber(m.Fidelity.VarianceBias),
+				HurstDrift:   backNumber(m.Fidelity.HurstDrift),
+			},
+		}
+	}
+	if w.At != "" {
+		at, err := time.Parse(time.RFC3339Nano, w.At)
+		if err != nil {
+			return fmt.Errorf("sampling: comparison timestamp: %w", err)
+		}
+		out.At = at
+	}
+	*c = out
+	return nil
+}
+
+// hurstPointWire / hurstPointBack map a HurstPoint to and from its wire
+// form, shared by the Hurst summary block and the comparison's input
+// point.
+func hurstPointWire(p HurstPoint) hurstPointJSON {
+	return hurstPointJSON{H: jsonNumber(p.H), Beta: jsonNumber(p.Beta),
+		Levels: p.Levels, Ticks: p.Ticks, OK: p.OK}
+}
+
+func hurstPointBack(p hurstPointJSON) HurstPoint {
+	return HurstPoint{H: backNumber(p.H), Beta: backNumber(p.Beta),
+		Levels: p.Levels, Ticks: p.Ticks, OK: p.OK}
 }
 
 // UnmarshalJSON is the inverse of MarshalJSON: null moments come back as

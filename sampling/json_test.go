@@ -150,3 +150,117 @@ func TestSummaryJSONError(t *testing.T) {
 		t.Error("finished flag lost in round trip")
 	}
 }
+
+// comparisonFixture builds a deterministic finished comparison with an
+// estimator attached, the richest document the group wire form carries.
+func comparisonFixture(t *testing.T) Comparison {
+	t.Helper()
+	at := time.Date(2026, 7, 27, 12, 0, 0, 123456789, time.UTC)
+	g, err := NewGroup(
+		[]Spec{MustParse("systematic:interval=2"), MustParse("bernoulli:rate=0.5,seed=9")},
+		WithClock(func() time.Time { return at }),
+		WithEstimator("aggvar"),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	series := make([]float64, 256)
+	for i := range series {
+		series[i] = float64(i%17) + 0.25
+	}
+	g.OfferBatch(series)
+	if _, err := g.Finish(); err != nil {
+		t.Fatal(err)
+	}
+	return g.Snapshot()
+}
+
+func sameComparisonNumbers(a, b Fidelity) bool {
+	same := func(x, y float64) bool {
+		if math.IsNaN(x) || math.IsNaN(y) {
+			return math.IsNaN(x) && math.IsNaN(y)
+		}
+		return x == y
+	}
+	return same(a.KeptRatio, b.KeptRatio) && same(a.MeanBias, b.MeanBias) &&
+		same(a.VarianceBias, b.VarianceBias) && same(a.HurstDrift, b.HurstDrift)
+}
+
+func TestComparisonJSONRoundTrip(t *testing.T) {
+	want := comparisonFixture(t)
+	data, err := json.Marshal(want)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got Comparison
+	if err := json.Unmarshal(data, &got); err != nil {
+		t.Fatalf("unmarshal %s: %v", data, err)
+	}
+	if got.Seen != want.Seen || got.Mean != want.Mean || got.Variance != want.Variance ||
+		got.Method != want.Method || got.Finished != want.Finished ||
+		got.Uptime != want.Uptime || !got.At.Equal(want.At) {
+		t.Errorf("round trip changed the comparison header:\n got %+v\nwant %+v", got, want)
+	}
+	if got.Hurst == nil || *got.Hurst != *want.Hurst {
+		t.Errorf("round trip changed the input Hurst point: got %+v want %+v", got.Hurst, want.Hurst)
+	}
+	if len(got.Members) != len(want.Members) {
+		t.Fatalf("round trip changed the member count: %d vs %d", len(got.Members), len(want.Members))
+	}
+	for i := range want.Members {
+		gm, wm := got.Members[i], want.Members[i]
+		if gm.Summary.Technique != wm.Summary.Technique || gm.Summary.Kept != wm.Summary.Kept ||
+			gm.Summary.Mean != wm.Summary.Mean || gm.Summary.Hurst == nil {
+			t.Errorf("member %d summary changed:\n got %+v\nwant %+v", i, gm.Summary, wm.Summary)
+		}
+		if !sameComparisonNumbers(gm.Fidelity, wm.Fidelity) {
+			t.Errorf("member %d fidelity changed:\n got %+v\nwant %+v", i, gm.Fidelity, wm.Fidelity)
+		}
+	}
+}
+
+// TestComparisonJSONNaNBecomesNull: a freshly created group has every
+// moment and score in its NaN state; the wire form must carry null,
+// never a bare NaN the encoder would reject.
+func TestComparisonJSONNaNBecomesNull(t *testing.T) {
+	g, err := NewGroup([]Spec{MustParse("systematic:interval=2")},
+		WithClock(func() time.Time { return time.Unix(0, 0).UTC() }))
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := json.Marshal(g.Snapshot())
+	if err != nil {
+		t.Fatalf("zero-state comparison failed to marshal: %v", err)
+	}
+	for _, key := range []string{`"mean":null`, `"variance":null`,
+		`"kept_ratio":null`, `"mean_bias":null`, `"variance_bias":null`, `"hurst_drift":null`} {
+		if !strings.Contains(string(data), key) {
+			t.Errorf("missing %s in %s", key, data)
+		}
+	}
+	var got Comparison
+	if err := json.Unmarshal(data, &got); err != nil {
+		t.Fatal(err)
+	}
+	if !math.IsNaN(got.Mean) || !math.IsNaN(got.Members[0].Fidelity.KeptRatio) ||
+		!math.IsNaN(got.Members[0].Fidelity.HurstDrift) {
+		t.Errorf("null scores did not come back as NaN: %+v", got)
+	}
+	if got.Hurst != nil {
+		t.Errorf("estimator-less comparison grew a Hurst point: %+v", got.Hurst)
+	}
+}
+
+func TestComparisonJSONRejectsUnknownFields(t *testing.T) {
+	data, err := json.Marshal(comparisonFixture(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A typo'd top-level key must fail loudly, not silently decode to
+	// the zero comparison.
+	bad := strings.Replace(string(data), `"seen":`, `"sene":`, 1)
+	var got Comparison
+	if err := json.Unmarshal([]byte(bad), &got); err == nil {
+		t.Error("comparison with unknown field unmarshaled without error")
+	}
+}

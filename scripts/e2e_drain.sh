@@ -57,6 +57,25 @@ seq 1 5000 | tr '\n' ' ' | curl -sf -X POST "$BASE/v1/streams/drain-check/ticks"
 curl -sf "$BASE/v1/streams/drain-check/hurst" | grep -q '"method":"aggvar"'
 curl -sf "$BASE/metrics" | grep -q '^sampled_hurst_streams_estimating 1$'
 
+# The v2 surface: one comparison group over all five techniques on the
+# same ticks, its comparison snapshot carrying every member plus the
+# fidelity block, and the group metrics counting it.
+curl -sf -X PUT "$BASE/v1/groups/compare-check" \
+    -H 'Content-Type: application/json' \
+    -d '{"specs": ["systematic:interval=50", "stratified:interval=50,seed=3",
+                   "simple:n=100,seed=4", "bernoulli:rate=0.02,seed=5",
+                   "bss:interval=50,L=5,eps=1.0"],
+         "estimator": "aggvar"}' > /dev/null
+seq 1 5000 | tr '\n' ' ' | curl -sf -X POST "$BASE/v1/groups/compare-check/ticks" --data-binary @- > /dev/null
+comparison="$(curl -sf "$BASE/v1/groups/compare-check")"
+echo "$comparison" | grep -q '"seen":5000'
+echo "$comparison" | grep -q '"technique":"bss"'
+echo "$comparison" | grep -q '"kept_ratio":'
+echo "$comparison" | grep -q '"mean_bias":'
+curl -sf "$BASE/metrics" | grep -q '^sampled_groups 1$'
+curl -sf "$BASE/metrics" | grep -q '^sampled_group_ticks_total 5000$'
+curl -sf "$BASE/v1/groups" | grep -q '"groups":\["compare-check"\]'
+
 # Graceful shutdown: SIGTERM must drain and exit 0.
 kill -TERM "$daemon_pid"
 if ! wait "$daemon_pid"; then
