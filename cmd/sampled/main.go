@@ -7,7 +7,10 @@
 // The v1 resource model:
 //
 //	PUT    /v1/streams/{id}           create: {"spec": "bss:rate=1e-3,L=10", "seed": 7, "budget": 0, "estimator": "aggvar"}
-//	POST   /v1/streams/{id}/ticks     ingest: JSON array of numbers, or whitespace-separated text
+//	POST   /v1/streams/{id}/ticks     ingest: JSON array of numbers, whitespace-separated text,
+//	                                  or binary tick-batch frames (Content-Type application/x-tickbatch)
+//	POST   /v1/session                streaming ingest: one long-lived connection carrying binary
+//	                                  frames, each routed to the stream its embedded id names
 //	GET    /v1/streams/{id}/snapshot  live summary (non-destructive)
 //	GET    /v1/streams/{id}/hurst     live Hurst block: pre- vs post-sampling H (streams created with "estimator")
 //	DELETE /v1/streams/{id}           finish: final summary + end-of-stream samples
@@ -24,10 +27,19 @@
 //	DELETE /v1/groups/{id}            finish: final comparison + per-member end-of-stream samples
 //	GET    /v1/groups                 live group ids
 //
+// The binary wire (sampling/wire) is the line-rate ingest path: frames
+// decode straight into pooled []float64 batches with no per-tick
+// parsing, and the session mode pays connection and routing costs once
+// per connection instead of once per batch. Request bodies are capped
+// (-max-body, 413 on overflow); session bodies are unbounded but every
+// frame is held to a frame-declared tick cap derived from the same
+// flag.
+//
 // Typed failures map onto statuses: unknown techniques, bad specs and
 // rejected parameters are 400s, a missing stream is a 404, a duplicate
-// create is a 409. Shutdown is graceful: SIGINT/SIGTERM stops accepting
-// and drains in-flight requests.
+// create is a 409, an oversized body or frame a 413. Shutdown is
+// graceful: SIGINT/SIGTERM stops accepting and drains in-flight
+// requests.
 //
 // Example:
 //

@@ -11,11 +11,13 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/sampling"
 	"repro/sampling/estimate"
 	"repro/sampling/hub"
+	"repro/sampling/wire"
 )
 
 // server is the HTTP face of a hub: the v1 stream resource plus a
@@ -23,6 +25,16 @@ import (
 type server struct {
 	hub     *hub.Hub
 	maxBody int64
+
+	// The binary wire. maxTicks is the frame-declared batch cap (the
+	// body cap divided by the 8 bytes a tick occupies on the wire), so
+	// a hostile length prefix is refused before any allocation; the
+	// decoders pool keeps frame and tick buffers warm across requests
+	// and sessions; the counters feed sampled_ingest_* on /metrics.
+	maxTicks     int
+	decoders     sync.Pool
+	ingestFrames atomic.Int64
+	ingestBytes  atomic.Int64
 
 	// The hub's Hurst aggregate costs O(streams) — one engine snapshot
 	// and regression per estimating stream — while every other /metrics
@@ -44,8 +56,13 @@ func newServer(h *hub.Hub, maxBody int64, hurstEvery time.Duration) http.Handler
 		maxBody = 32 << 20
 	}
 	s := &server{hub: h, maxBody: maxBody, hurstEvery: hurstEvery}
+	s.maxTicks = int(maxBody / 8)
+	if s.maxTicks < 1 {
+		s.maxTicks = 1
+	}
 	mux := http.NewServeMux()
 	mux.HandleFunc("PUT /v1/streams/{id}", s.createStream)
+	mux.HandleFunc("POST /v1/session", s.session)
 	mux.HandleFunc("POST /v1/streams/{id}/ticks", s.offerTicks)
 	mux.HandleFunc("GET /v1/streams/{id}/snapshot", s.snapshot)
 	mux.HandleFunc("GET /v1/streams/{id}/hurst", s.hurst)
@@ -237,8 +254,14 @@ func (s *server) readTicks(w http.ResponseWriter, r *http.Request) (values []flo
 
 // offerTicks ingests one batch into a stream. Ticks within one stream
 // must be posted sequentially; batches for different streams are fully
-// concurrent.
+// concurrent. A Content-Type of application/x-tickbatch switches the
+// body to binary tick-batch frames (any number, back to back); JSON
+// and whitespace text stay as before.
 func (s *server) offerTicks(w http.ResponseWriter, r *http.Request) {
+	if isTickBatch(r) {
+		s.offerFrames(w, r, s.hub.OfferBatch)
+		return
+	}
 	values, ok := s.readTicks(w, r)
 	if !ok {
 		return
@@ -249,6 +272,144 @@ func (s *server) offerTicks(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusOK, offerResponse{Accepted: len(values), Kept: kept})
+}
+
+// isTickBatch reports whether the request body is binary tick-batch
+// frames.
+func isTickBatch(r *http.Request) bool {
+	return strings.HasPrefix(r.Header.Get("Content-Type"), wire.ContentType)
+}
+
+// decoder takes a pooled frame decoder (warm buffers, shared tick cap)
+// for one request body; return it with s.decoders.Put when done.
+func (s *server) decoder(r io.Reader) *wire.Decoder {
+	if d, ok := s.decoders.Get().(*wire.Decoder); ok {
+		d.Reset(r)
+		return d
+	}
+	return wire.NewDecoder(r, s.maxTicks)
+}
+
+// writeWireError reports a binary-ingest failure: a frame whose
+// declared batch blows the tick cap (or a body over the byte cap) is a
+// 413, retryable by splitting the batch; corruption — bad magic or
+// version, checksum mismatch, truncation, non-finite ticks — is a 400.
+func writeWireError(w http.ResponseWriter, err error) {
+	status := http.StatusBadRequest
+	var mbe *http.MaxBytesError
+	if errors.Is(err, wire.ErrFrameTooLarge) || errors.As(err, &mbe) {
+		status = http.StatusRequestEntityTooLarge
+	}
+	writeJSON(w, status, map[string]string{"error": "frame: " + err.Error()})
+}
+
+// offerFrames ingests a body of binary frames into the URL-addressed
+// stream (or group, via the offer argument). Each frame decodes into a
+// pooled []float64 handed straight to OfferBatch; a frame-embedded id,
+// when present, must match the URL. Nothing is echoed per frame — one
+// summary response covers the whole body.
+func (s *server) offerFrames(w http.ResponseWriter, r *http.Request, offer func(string, []float64) (int, error)) {
+	id := r.PathValue("id")
+	dec := s.decoder(http.MaxBytesReader(w, r.Body, s.maxBody))
+	defer s.decoders.Put(dec)
+	accepted, kept, frames := 0, 0, 0
+	for {
+		frameID, values, err := dec.ReadFrame()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			writeWireError(w, err)
+			return
+		}
+		if frameID != "" && frameID != id {
+			writeJSON(w, http.StatusBadRequest, map[string]string{
+				"error": fmt.Sprintf("frame names stream %q but the URL names %q", frameID, id)})
+			return
+		}
+		k, err := offer(id, values)
+		if err != nil {
+			writeError(w, err)
+			return
+		}
+		s.ingestFrames.Add(1)
+		s.ingestBytes.Add(dec.FrameBytes())
+		accepted += len(values)
+		kept += k
+		frames++
+	}
+	if frames == 0 {
+		// An empty body still names a stream; surface a 404 for a ghost
+		// the way an empty text body does.
+		if _, err := offer(id, nil); err != nil {
+			writeError(w, err)
+			return
+		}
+	}
+	writeJSON(w, http.StatusOK, offerResponse{Accepted: accepted, Kept: kept})
+}
+
+// sessionResponse is the body of a completed streaming session: what
+// the connection's frames added up to.
+type sessionResponse struct {
+	Frames   int64 `json:"frames"`
+	Accepted int64 `json:"accepted"`
+	Kept     int64 `json:"kept"`
+}
+
+// session is the persistent streaming ingest mode: one long-lived POST
+// whose body is an unbounded sequence of binary frames, each routed to
+// the stream its embedded id names — connection setup, routing and
+// response costs are paid once per session instead of once per batch.
+// Frames are offered as they arrive, so observers see the stream grow
+// mid-session; the response (totals, or the first error) comes when
+// the client closes its body. The body is deliberately not size-capped
+// — sessions are long-lived by design — but every frame is still held
+// to the frame-declared tick cap, which bounds memory. Sessions are
+// not transactional: frames before a mid-session error stay ingested,
+// and the error body reports how far the session got.
+func (s *server) session(w http.ResponseWriter, r *http.Request) {
+	if !isTickBatch(r) {
+		writeJSON(w, http.StatusUnsupportedMediaType,
+			map[string]string{"error": "session bodies are binary tick-batch frames; set Content-Type " + wire.ContentType})
+		return
+	}
+	dec := s.decoder(r.Body)
+	defer s.decoders.Put(dec)
+	var resp sessionResponse
+	fail := func(status int, msg string) {
+		writeJSON(w, status, map[string]any{
+			"error": msg, "frames": resp.Frames, "accepted": resp.Accepted, "kept": resp.Kept})
+	}
+	for {
+		id, values, err := dec.ReadFrame()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			status := http.StatusBadRequest
+			if errors.Is(err, wire.ErrFrameTooLarge) {
+				status = http.StatusRequestEntityTooLarge
+			}
+			fail(status, "frame: "+err.Error())
+			return
+		}
+		if id == "" {
+			fail(http.StatusBadRequest, "session frame carries no stream id")
+			return
+		}
+		kept, err := s.hub.OfferBatch(id, values)
+		if err != nil {
+			fail(statusFor(err), err.Error())
+			return
+		}
+		s.ingestFrames.Add(1)
+		s.ingestBytes.Add(dec.FrameBytes())
+		resp.Frames++
+		resp.Accepted += int64(len(values))
+		resp.Kept += int64(kept)
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 func (s *server) snapshot(w http.ResponseWriter, r *http.Request) {
@@ -354,9 +515,14 @@ func (s *server) createGroup(w http.ResponseWriter, r *http.Request) {
 }
 
 // offerGroupTicks ingests one batch into every member of a group; body
-// formats as for stream ticks. "kept" counts samples across all
-// members, so it can exceed "accepted".
+// formats as for stream ticks, including binary tick-batch frames.
+// "kept" counts samples across all members, so it can exceed
+// "accepted".
 func (s *server) offerGroupTicks(w http.ResponseWriter, r *http.Request) {
+	if isTickBatch(r) {
+		s.offerFrames(w, r, s.hub.OfferGroupBatch)
+		return
+	}
 	values, ok := s.readTicks(w, r)
 	if !ok {
 		return
@@ -443,6 +609,8 @@ func (s *server) metrics(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintf(w, "# HELP sampled_groups_evicted_total Comparison groups evicted after the idle TTL.\n# TYPE sampled_groups_evicted_total counter\nsampled_groups_evicted_total %d\n", st.GroupsEvicted)
 	fmt.Fprintf(w, "# HELP sampled_group_ticks_total Input ticks ingested by comparison groups (each fans out to every member).\n# TYPE sampled_group_ticks_total counter\nsampled_group_ticks_total %d\n", st.GroupTicks)
 	fmt.Fprintf(w, "# HELP sampled_group_samples_kept_total Samples kept across all group members.\n# TYPE sampled_group_samples_kept_total counter\nsampled_group_samples_kept_total %d\n", st.GroupKept)
+	fmt.Fprintf(w, "# HELP sampled_ingest_frames_total Binary tick-batch frames decoded (single-shot POSTs and streaming sessions).\n# TYPE sampled_ingest_frames_total counter\nsampled_ingest_frames_total %d\n", s.ingestFrames.Load())
+	fmt.Fprintf(w, "# HELP sampled_ingest_bytes_total Bytes of binary tick-batch frames decoded.\n# TYPE sampled_ingest_bytes_total counter\nsampled_ingest_bytes_total %d\n", s.ingestBytes.Load())
 	fmt.Fprintf(w, "# HELP sampled_uptime_seconds Seconds since the hub started.\n# TYPE sampled_uptime_seconds gauge\nsampled_uptime_seconds %g\n", st.Uptime.Seconds())
 	fmt.Fprintf(w, "# HELP sampled_ticks_per_second_avg Lifetime average ingest rate.\n# TYPE sampled_ticks_per_second_avg gauge\nsampled_ticks_per_second_avg %g\n", st.TicksPerSec)
 	hs := s.hurstAggregate()

@@ -1,0 +1,436 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/sampling/hub"
+	"repro/sampling/wire"
+)
+
+// postRaw sends one body with an explicit content type and returns the
+// status and response body.
+func postRaw(t *testing.T, client *http.Client, url, ctype string, body []byte) (int, []byte) {
+	t.Helper()
+	resp, err := client.Post(url, ctype, bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, data
+}
+
+func mustFrame(t testing.TB, id string, ticks []float64) []byte {
+	t.Helper()
+	b, err := wire.AppendFrame(nil, id, ticks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+// TestBinaryIngest drives the binary wire end to end: single and
+// multi-frame bodies into streams and groups, with the ingest counters
+// surfacing on /metrics.
+func TestBinaryIngest(t *testing.T) {
+	srv := httptest.NewServer(newServer(hub.New(), 0, 0))
+	defer srv.Close()
+	client := srv.Client()
+
+	if code, _ := doJSON(t, client, http.MethodPut, srv.URL+"/v1/streams/s",
+		map[string]any{"spec": "systematic:interval=2"}); code != http.StatusCreated {
+		t.Fatal("create failed")
+	}
+
+	// One body, three frames: anonymous, URL-matching id, anonymous.
+	body := mustFrame(t, "", []float64{1, 2, 3, 4})
+	body = append(body, mustFrame(t, "s", []float64{5, 6})...)
+	body = append(body, mustFrame(t, "", []float64{7})...)
+	code, data := postRaw(t, client, srv.URL+"/v1/streams/s/ticks", wire.ContentType, body)
+	if code != http.StatusOK {
+		t.Fatalf("binary ingest: %d %s", code, data)
+	}
+	var off offerResponse
+	if err := json.Unmarshal(data, &off); err != nil {
+		t.Fatal(err)
+	}
+	if off.Accepted != 7 || off.Kept != 4 {
+		t.Errorf("binary ingest: %+v, want accepted=7 kept=4", off)
+	}
+
+	// Groups take the same frames.
+	if code, _ := doJSON(t, client, http.MethodPut, srv.URL+"/v1/groups/g",
+		map[string]any{"specs": []string{"systematic:interval=2", "systematic:interval=4"}}); code != http.StatusCreated {
+		t.Fatal("group create failed")
+	}
+	code, data = postRaw(t, client, srv.URL+"/v1/groups/g/ticks", wire.ContentType,
+		mustFrame(t, "g", []float64{1, 2, 3, 4}))
+	if code != http.StatusOK {
+		t.Fatalf("binary group ingest: %d %s", code, data)
+	}
+	if err := json.Unmarshal(data, &off); err != nil {
+		t.Fatal(err)
+	}
+	if off.Accepted != 4 || off.Kept != 3 {
+		t.Errorf("binary group ingest: %+v, want accepted=4 kept=3", off)
+	}
+
+	code, metrics := doJSON(t, client, http.MethodGet, srv.URL+"/metrics", nil)
+	if code != http.StatusOK {
+		t.Fatalf("metrics: %d", code)
+	}
+	if !strings.Contains(string(metrics), "sampled_ingest_frames_total 4") {
+		t.Errorf("metrics missing sampled_ingest_frames_total 4:\n%s", metrics)
+	}
+	wantBytes := fmt.Sprintf("sampled_ingest_bytes_total %d", len(body)+len(mustFrame(t, "g", []float64{1, 2, 3, 4})))
+	if !strings.Contains(string(metrics), wantBytes) {
+		t.Errorf("metrics missing %q:\n%s", wantBytes, metrics)
+	}
+}
+
+// TestBinaryErrorMapping pins the wire's failure statuses: corruption
+// and routing mistakes are 400s, anything oversized — a frame whose
+// declared batch blows the tick cap, or a body over the byte cap — is
+// a 413, and a ghost stream stays a 404.
+func TestBinaryErrorMapping(t *testing.T) {
+	// maxBody 256 gives maxTicks 32 — small enough to trip on purpose.
+	srv := httptest.NewServer(newServer(hub.New(), 256, 0))
+	defer srv.Close()
+	client := srv.Client()
+
+	if code, _ := doJSON(t, client, http.MethodPut, srv.URL+"/v1/streams/s",
+		map[string]any{"spec": "systematic:interval=2"}); code != http.StatusCreated {
+		t.Fatal("create failed")
+	}
+
+	badMagic := mustFrame(t, "", []float64{1})
+	badMagic[0] ^= 0xff
+
+	cases := []struct {
+		name string
+		path string
+		body []byte
+		want int
+	}{
+		{"bad magic", "/v1/streams/s/ticks", badMagic, http.StatusBadRequest},
+		{"truncated frame", "/v1/streams/s/ticks", mustFrame(t, "", []float64{1, 2})[:12], http.StatusBadRequest},
+		{"oversized frame", "/v1/streams/s/ticks", mustFrame(t, "", make([]float64, 33)), http.StatusRequestEntityTooLarge},
+		{"id mismatch", "/v1/streams/s/ticks", mustFrame(t, "other", []float64{1}), http.StatusBadRequest},
+		{"ghost stream", "/v1/streams/ghost/ticks", mustFrame(t, "", []float64{1}), http.StatusNotFound},
+		{"empty body to ghost", "/v1/streams/ghost/ticks", nil, http.StatusNotFound},
+	}
+	for _, tc := range cases {
+		code, data := postRaw(t, client, srv.URL+tc.path, wire.ContentType, tc.body)
+		if code != tc.want {
+			t.Errorf("%s: got %d (%s), want %d", tc.name, code, data, tc.want)
+		}
+	}
+
+	// Rejected bodies must not have leaked partial batches: only the
+	// frames before the failure count, and every case above fails on
+	// its first frame.
+	code, data := doJSON(t, client, http.MethodGet, srv.URL+"/v1/streams/s/snapshot", nil)
+	if code != http.StatusOK || !strings.Contains(string(data), `"seen":0`) {
+		t.Errorf("rejected frames leaked ticks: %d %s", code, data)
+	}
+}
+
+// TestSessionIngest drives the persistent streaming mode: one
+// connection carrying frames for several streams, totals at EOF, and
+// the failure edges (wrong content type, anonymous frame, ghost
+// stream) reporting how far the session got.
+func TestSessionIngest(t *testing.T) {
+	srv := httptest.NewServer(newServer(hub.New(), 0, 0))
+	defer srv.Close()
+	client := srv.Client()
+
+	for _, id := range []string{"a", "b"} {
+		if code, _ := doJSON(t, client, http.MethodPut, srv.URL+"/v1/streams/"+id,
+			map[string]any{"spec": "systematic:interval=2"}); code != http.StatusCreated {
+			t.Fatalf("create %s failed", id)
+		}
+	}
+
+	var body []byte
+	for i := 0; i < 4; i++ {
+		body = append(body, mustFrame(t, "a", []float64{1, 2, 3, 4})...)
+		body = append(body, mustFrame(t, "b", []float64{5, 6})...)
+	}
+	code, data := postRaw(t, client, srv.URL+"/v1/session", wire.ContentType, body)
+	if code != http.StatusOK {
+		t.Fatalf("session: %d %s", code, data)
+	}
+	var resp sessionResponse
+	if err := json.Unmarshal(data, &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Frames != 8 || resp.Accepted != 24 || resp.Kept != 12 {
+		t.Errorf("session totals: %+v, want frames=8 accepted=24 kept=12", resp)
+	}
+	code, data = doJSON(t, client, http.MethodGet, srv.URL+"/v1/streams/a/snapshot", nil)
+	if code != http.StatusOK || !strings.Contains(string(data), `"seen":16`) {
+		t.Errorf("stream a after session: %d %s", code, data)
+	}
+
+	// Wrong content type: 415 before any frame is read.
+	code, data = postRaw(t, client, srv.URL+"/v1/session", "application/json", []byte("[1,2]"))
+	if code != http.StatusUnsupportedMediaType {
+		t.Errorf("json session body: %d %s, want 415", code, data)
+	}
+
+	// Mid-session failures report the totals so far: two good frames,
+	// then the offender.
+	fail := func(name string, offender []byte, want int) {
+		t.Helper()
+		body := append(mustFrame(t, "a", []float64{1}), mustFrame(t, "b", []float64{2})...)
+		body = append(body, offender...)
+		code, data := postRaw(t, client, srv.URL+"/v1/session", wire.ContentType, body)
+		if code != want {
+			t.Errorf("%s: got %d (%s), want %d", name, code, data, want)
+		}
+		if !strings.Contains(string(data), `"frames":2`) {
+			t.Errorf("%s: error body hides the session's progress: %s", name, data)
+		}
+	}
+	fail("anonymous frame", mustFrame(t, "", []float64{1}), http.StatusBadRequest)
+	fail("ghost stream", mustFrame(t, "ghost", []float64{1}), http.StatusNotFound)
+}
+
+// TestWireEquivalence is the cross-wire contract: the same tick series
+// pushed through JSON, text, binary and a streaming session into
+// identically specced streams must leave them byte-for-byte
+// indistinguishable — snapshots and final summaries alike.
+func TestWireEquivalence(t *testing.T) {
+	at := time.Date(2026, 7, 27, 12, 0, 0, 0, time.UTC)
+	h := hub.New(hub.WithClock(func() time.Time { return at }))
+	srv := httptest.NewServer(newServer(h, 0, 0))
+	defer srv.Close()
+	client := srv.Client()
+
+	series := heavyTailedSeries(3, 2000)
+	const batch = 137
+	wires := []string{"json", "text", "binary", "session"}
+	for _, w := range wires {
+		if code, body := doJSON(t, client, http.MethodPut, srv.URL+"/v1/streams/eq-"+w,
+			map[string]any{"spec": "bss:interval=50,L=5,eps=1.0", "estimator": "aggvar"}); code != http.StatusCreated {
+			t.Fatalf("create eq-%s: %d %s", w, code, body)
+		}
+	}
+
+	var sessionBody []byte
+	for off := 0; off < len(series); off += batch {
+		end := off + batch
+		if end > len(series) {
+			end = len(series)
+		}
+		chunk := series[off:end]
+
+		jsonBody, err := json.Marshal(chunk)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if code, data := postRaw(t, client, srv.URL+"/v1/streams/eq-json/ticks", "application/json", jsonBody); code != http.StatusOK {
+			t.Fatalf("json batch: %d %s", code, data)
+		}
+
+		var text []byte
+		for i, v := range chunk {
+			if i > 0 {
+				text = append(text, ' ')
+			}
+			text = strconv.AppendFloat(text, v, 'g', -1, 64)
+		}
+		if code, data := postRaw(t, client, srv.URL+"/v1/streams/eq-text/ticks", "text/plain", text); code != http.StatusOK {
+			t.Fatalf("text batch: %d %s", code, data)
+		}
+
+		if code, data := postRaw(t, client, srv.URL+"/v1/streams/eq-binary/ticks", wire.ContentType,
+			mustFrame(t, "", chunk)); code != http.StatusOK {
+			t.Fatalf("binary batch: %d %s", code, data)
+		}
+
+		sessionBody = append(sessionBody, mustFrame(t, "eq-session", chunk)...)
+	}
+	if code, data := postRaw(t, client, srv.URL+"/v1/session", wire.ContentType, sessionBody); code != http.StatusOK {
+		t.Fatalf("session: %d %s", code, data)
+	}
+
+	fetch := func(method, suffix string) map[string][]byte {
+		docs := make(map[string][]byte, len(wires))
+		for _, w := range wires {
+			code, data := doJSON(t, client, method, srv.URL+"/v1/streams/eq-"+w+suffix, nil)
+			if code != http.StatusOK {
+				t.Fatalf("%s eq-%s%s: %d %s", method, w, suffix, code, data)
+			}
+			docs[w] = data
+		}
+		return docs
+	}
+	snaps := fetch(http.MethodGet, "/snapshot")
+	for _, w := range wires[1:] {
+		if !bytes.Equal(snaps[w], snaps["json"]) {
+			t.Errorf("%s snapshot diverges from json:\n %s\n %s", w, snaps[w], snaps["json"])
+		}
+	}
+	// The final document — summary plus end-of-stream samples — must
+	// agree too: the wire cannot change which ticks a technique keeps.
+	finals := fetch(http.MethodDelete, "")
+	for _, w := range wires[1:] {
+		if !bytes.Equal(finals[w], finals["json"]) {
+			t.Errorf("%s final summary diverges from json:\n %s\n %s", w, finals[w], finals["json"])
+		}
+	}
+	var fin finishResponse
+	if err := json.Unmarshal(finals["json"], &fin); err != nil {
+		t.Fatal(err)
+	}
+	if fin.Summary.Seen != len(series) || fin.Summary.Kept == 0 {
+		t.Errorf("equivalence run was degenerate: seen=%d kept=%d", fin.Summary.Seen, fin.Summary.Kept)
+	}
+}
+
+// BenchmarkServeTicks measures end-to-end ingest over loopback HTTP —
+// the daemon-side cost of each wire, request handling included. The
+// session variant amortizes connection and response costs over the
+// whole run, which is exactly its pitch.
+func BenchmarkServeTicks(b *testing.B) {
+	const batch = 512
+	ticks := make([]float64, batch)
+	for i := range ticks {
+		ticks[i] = float64(i%97) * 1.5
+	}
+
+	newTarget := func(b *testing.B) (*httptest.Server, *http.Client) {
+		b.Helper()
+		srv := httptest.NewServer(newServer(hub.New(), 0, 0))
+		b.Cleanup(srv.Close)
+		client := srv.Client()
+		req, err := http.NewRequest(http.MethodPut, srv.URL+"/v1/streams/s",
+			strings.NewReader(`{"spec": "systematic:interval=100"}`))
+		if err != nil {
+			b.Fatal(err)
+		}
+		req.Header.Set("Content-Type", "application/json")
+		resp, err := client.Do(req)
+		if err != nil {
+			b.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusCreated {
+			b.Fatalf("create: %d", resp.StatusCode)
+		}
+		return srv, client
+	}
+	post := func(b *testing.B, client *http.Client, url, ctype string, body []byte) {
+		b.Helper()
+		resp, err := client.Post(url, ctype, bytes.NewReader(body))
+		if err != nil {
+			b.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			b.Fatalf("ingest: %d", resp.StatusCode)
+		}
+	}
+	reportTicks := func(b *testing.B) {
+		if s := b.Elapsed().Seconds(); s > 0 {
+			b.ReportMetric(float64(b.N)*batch/s, "ticks/s")
+		}
+	}
+
+	jsonBody, err := json.Marshal(ticks)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var textBody []byte
+	for i, v := range ticks {
+		if i > 0 {
+			textBody = append(textBody, ' ')
+		}
+		textBody = strconv.AppendFloat(textBody, v, 'g', -1, 64)
+	}
+	perPost := []struct {
+		name  string
+		ctype string
+		body  []byte
+	}{
+		{"json", "application/json", jsonBody},
+		{"text", "text/plain", textBody},
+		{"binary", wire.ContentType, mustFrame(b, "", ticks)},
+	}
+	for _, tc := range perPost {
+		b.Run(tc.name, func(b *testing.B) {
+			srv, client := newTarget(b)
+			url := srv.URL + "/v1/streams/s/ticks"
+			b.SetBytes(int64(len(tc.body)))
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				post(b, client, url, tc.ctype, tc.body)
+			}
+			reportTicks(b)
+		})
+	}
+
+	b.Run("session", func(b *testing.B) {
+		srv, client := newTarget(b)
+		pr, pw := io.Pipe()
+		req, err := http.NewRequest(http.MethodPost, srv.URL+"/v1/session", pr)
+		if err != nil {
+			b.Fatal(err)
+		}
+		req.Header.Set("Content-Type", wire.ContentType)
+		var wg sync.WaitGroup
+		wg.Add(1)
+		var status int
+		go func() {
+			defer wg.Done()
+			resp, err := client.Do(req)
+			if err != nil {
+				pr.CloseWithError(err)
+				return
+			}
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			status = resp.StatusCode
+		}()
+		// Buffer the pipe as a real client's socket would: without it,
+		// every frame is a synchronous writer-to-reader handoff and the
+		// benchmark measures goroutine wakeups instead of the wire.
+		bw := bufio.NewWriterSize(pw, 64<<10)
+		enc := wire.NewEncoder(bw)
+		frame := mustFrame(b, "s", ticks)
+		b.SetBytes(int64(len(frame)))
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := enc.Encode("s", ticks); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if err := bw.Flush(); err != nil {
+			b.Fatal(err)
+		}
+		pw.Close()
+		wg.Wait()
+		reportTicks(b)
+		if status != http.StatusOK {
+			b.Fatalf("session: %d", status)
+		}
+	})
+}

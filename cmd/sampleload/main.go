@@ -47,6 +47,7 @@ import (
 	"net/http"
 	"os"
 	"runtime"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -58,6 +59,7 @@ import (
 	"repro/sampling"
 	"repro/sampling/estimate"
 	"repro/sampling/hub"
+	"repro/sampling/wire"
 )
 
 func main() {
@@ -77,10 +79,38 @@ type loadConfig struct {
 	workers   int
 	spec      string
 	compare   string // ";"-separated specs; non-empty switches to comparison groups
+	wire      string // HTTP ingest encoding: json, text, binary or session ("" = json)
 	traffic   string // "fgn" or "onoff"
 	hurst     float64
 	seed      uint64
 	estimator string // online Hurst estimator method; "" or "off" disables
+}
+
+// wireName resolves the config's wire selection, defaulting to json so
+// zero-value configs (and -direct runs, where the wire is moot) behave
+// as before.
+func (c loadConfig) wireName() string {
+	if c.wire == "" {
+		return "json"
+	}
+	return c.wire
+}
+
+// checkWire rejects wire selections that cannot work before any stream
+// exists.
+func (c loadConfig) checkWire() error {
+	switch c.wireName() {
+	case "json", "text", "binary", "session":
+	default:
+		return fmt.Errorf("unknown wire %q (json, text, binary or session)", c.wire)
+	}
+	if c.direct && c.wire != "" && c.wire != "json" {
+		return fmt.Errorf("-wire %s selects an HTTP encoding; it has no meaning with -direct", c.wire)
+	}
+	if c.compare != "" && c.wireName() == "session" {
+		return fmt.Errorf("-wire session routes frames by stream id; comparison groups are not addressable in a session (use json, text or binary)")
+	}
+	return nil
 }
 
 // estimatorMethod resolves the config's estimator selection: the method
@@ -129,12 +159,17 @@ func run(args []string, out io.Writer) error {
 	fs.StringVar(&cfg.spec, "spec", "systematic:interval=100", "sampler spec for every stream")
 	fs.StringVar(&cfg.compare, "compare", "",
 		`";"-separated sampler specs: drive comparison groups instead of single-technique streams and report a per-technique fidelity table (e.g. "systematic:interval=100;bss:interval=100,L=5,eps=1.0")`)
+	fs.StringVar(&cfg.wire, "wire", "json",
+		"HTTP ingest encoding: json, text, binary (one tick-batch frame per POST) or session (one long-lived frame stream per sampling stream)")
 	fs.StringVar(&cfg.traffic, "traffic", "fgn", "traffic model: fgn or onoff")
 	fs.Float64Var(&cfg.hurst, "hurst", 0.8, "Hurst parameter of the generated traffic")
 	fs.Uint64Var(&cfg.seed, "seed", 1, "traffic generator seed")
 	fs.StringVar(&cfg.estimator, "estimator", "aggvar",
 		"per-stream online Hurst estimator (aggvar, wavelet, rs) or off")
 	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if err := cfg.checkWire(); err != nil {
 		return err
 	}
 	if cfg.compare != "" {
@@ -168,12 +203,16 @@ func run(args []string, out io.Writer) error {
 // driver abstracts the two targets: the in-process hub and the HTTP
 // daemon. Per-stream call order matters (ticks must stay sequential);
 // different streams are driven fully in parallel. The group methods
-// mirror the stream ones for -compare mode.
+// mirror the stream ones for -compare mode. drain flushes transport
+// state after the ingest phase — the session wire closes its
+// long-lived connections there and folds their kept totals in; every
+// other target is a no-op.
 type driver interface {
 	create(id string, spec sampling.Spec, estimator estimate.Method) error
 	offer(id string, batch []float64) (kept int, err error)
 	hurst(id string) (*sampling.HurstSummary, error)
 	finish(id string) error
+	drain() (kept int64, err error)
 
 	createGroup(id string, specs []sampling.Spec, estimator estimate.Method) error
 	offerGroup(id string, batch []float64) (kept int, err error)
@@ -199,6 +238,7 @@ func (d directDriver) hurst(id string) (*sampling.HurstSummary, error) {
 	}
 	return sum.Hurst, nil
 }
+func (d directDriver) drain() (int64, error) { return 0, nil }
 func (d directDriver) finish(id string) error {
 	// A deferred engine error (e.g. a fixed-size draw over a shorter
 	// stream) is a property of the workload, not a harness failure —
@@ -234,15 +274,41 @@ func (d directDriver) finishGroup(id string) error {
 type httpDriver struct {
 	base   string
 	client *http.Client
+	wire   string
+
+	// Ingest encoders reuse buffers: bufs pools the per-batch encode
+	// buffers of the text and binary wires, sessions holds one
+	// long-lived frame stream per sampling stream for the session wire
+	// (opened lazily on first offer, closed and harvested by drain).
+	// sessClient has no timeout — a session lives as long as its
+	// stream's ingest does.
+	bufs       sync.Pool
+	sessMu     sync.Mutex
+	sessions   map[string]*wireSession
+	sessClient *http.Client
 }
 
-func (d httpDriver) do(method, url string, body []byte) ([]byte, error) {
+// wireSession is one live session-mode connection: frames go into the
+// pipe (the in-flight POST body), and the response — total kept, or
+// the daemon's error — arrives on done once the writer side closes.
+type wireSession struct {
+	pw   *io.PipeWriter
+	enc  *wire.Encoder
+	done chan sessionResult
+}
+
+type sessionResult struct {
+	kept int64
+	err  error
+}
+
+func (d *httpDriver) do(method, url string, ctype string, body []byte) ([]byte, error) {
 	req, err := http.NewRequest(method, url, bytes.NewReader(body))
 	if err != nil {
 		return nil, err
 	}
 	if body != nil {
-		req.Header.Set("Content-Type", "application/json")
+		req.Header.Set("Content-Type", ctype)
 	}
 	resp, err := d.client.Do(req)
 	if err != nil {
@@ -259,7 +325,67 @@ func (d httpDriver) do(method, url string, body []byte) ([]byte, error) {
 	return data, nil
 }
 
-func (d httpDriver) create(id string, spec sampling.Spec, estimator estimate.Method) error {
+func (d *httpDriver) doJSON(method, url string, body []byte) ([]byte, error) {
+	return d.do(method, url, "application/json", body)
+}
+
+// encodeBatch renders one tick batch under the configured wire into
+// buf — reused across calls, so steady-state ingest encodes without
+// allocating — and returns the bytes plus the content type to send
+// them under. Per-POST binary frames leave the id empty: the URL
+// already routes them, and the server accepts an empty embedded id.
+func (d *httpDriver) encodeBatch(buf []byte, batch []float64) ([]byte, string, error) {
+	switch d.wire {
+	case "text":
+		for i, v := range batch {
+			if i > 0 {
+				buf = append(buf, ' ')
+			}
+			buf = strconv.AppendFloat(buf, v, 'g', -1, 64)
+		}
+		return buf, "text/plain", nil
+	case "binary":
+		buf, err := wire.AppendFrame(buf, "", batch)
+		return buf, wire.ContentType, err
+	default: // json
+		buf = append(buf, '[')
+		for i, v := range batch {
+			if i > 0 {
+				buf = append(buf, ',')
+			}
+			buf = strconv.AppendFloat(buf, v, 'g', -1, 64)
+		}
+		buf = append(buf, ']')
+		return buf, "application/json", nil
+	}
+}
+
+// postBatch sends one encoded batch to url and returns the response
+// body. The encode buffer comes from (and returns to) the pool; it is
+// free for reuse once do returns because the request body has been
+// fully written by then.
+func (d *httpDriver) postBatch(url string, batch []float64) ([]byte, error) {
+	bp := d.bufs.Get().(*[]byte)
+	defer d.bufs.Put(bp)
+	buf, ctype, err := d.encodeBatch((*bp)[:0], batch)
+	if err != nil {
+		return nil, err
+	}
+	*bp = buf
+	return d.do(http.MethodPost, url, ctype, buf)
+}
+
+func parseKept(data []byte) (int, error) {
+	var resp struct {
+		Kept int `json:"kept"`
+	}
+	if err := json.Unmarshal(data, &resp); err != nil {
+		return 0, err
+	}
+	return resp.Kept, nil
+}
+
+func (d *httpDriver) create(id string, spec sampling.Spec, estimator estimate.Method) error {
 	req := map[string]any{"spec": spec}
 	if estimator != "" {
 		req["estimator"] = string(estimator)
@@ -268,12 +394,12 @@ func (d httpDriver) create(id string, spec sampling.Spec, estimator estimate.Met
 	if err != nil {
 		return err
 	}
-	_, err = d.do(http.MethodPut, d.base+"/v1/streams/"+id, body)
+	_, err = d.doJSON(http.MethodPut, d.base+"/v1/streams/"+id, body)
 	return err
 }
 
-func (d httpDriver) hurst(id string) (*sampling.HurstSummary, error) {
-	data, err := d.do(http.MethodGet, d.base+"/v1/streams/"+id+"/hurst", nil)
+func (d *httpDriver) hurst(id string) (*sampling.HurstSummary, error) {
+	data, err := d.doJSON(http.MethodGet, d.base+"/v1/streams/"+id+"/hurst", nil)
 	if err != nil {
 		return nil, err
 	}
@@ -284,30 +410,118 @@ func (d httpDriver) hurst(id string) (*sampling.HurstSummary, error) {
 	return &hs, nil
 }
 
-func (d httpDriver) offer(id string, batch []float64) (int, error) {
-	body, err := json.Marshal(batch)
+func (d *httpDriver) offer(id string, batch []float64) (int, error) {
+	if d.wire == "session" {
+		return d.offerSession(id, batch)
+	}
+	data, err := d.postBatch(d.base+"/v1/streams/"+id+"/ticks", batch)
 	if err != nil {
 		return 0, err
 	}
-	data, err := d.do(http.MethodPost, d.base+"/v1/streams/"+id+"/ticks", body)
-	if err != nil {
-		return 0, err
-	}
-	var resp struct {
-		Kept int `json:"kept"`
-	}
-	if err := json.Unmarshal(data, &resp); err != nil {
-		return 0, err
-	}
-	return resp.Kept, nil
+	return parseKept(data)
 }
 
-func (d httpDriver) finish(id string) error {
-	_, err := d.do(http.MethodDelete, d.base+"/v1/streams/"+id, nil)
+// offerSession writes one frame into the stream's long-lived session
+// connection. Kept counts are only known when the session closes, so
+// every offer reports 0 and drain folds the daemon's total in.
+func (d *httpDriver) offerSession(id string, batch []float64) (int, error) {
+	s, err := d.session(id)
+	if err != nil {
+		return 0, err
+	}
+	if err := s.enc.Encode(id, batch); err != nil {
+		// A broken pipe here usually means the daemon already answered
+		// (an error response closes the body mid-stream) — surface its
+		// verdict rather than the bare pipe error when it has arrived.
+		select {
+		case res := <-s.done:
+			if res.err != nil {
+				return 0, res.err
+			}
+		default:
+		}
+		return 0, err
+	}
+	return 0, nil
+}
+
+// session returns the live session for id, opening it on first use: a
+// POST /v1/session whose body is the write end of a pipe, with a
+// goroutine waiting on the daemon's end-of-stream response. hammer
+// guarantees a single writer per id, so the encoder needs no lock;
+// the map does.
+func (d *httpDriver) session(id string) (*wireSession, error) {
+	d.sessMu.Lock()
+	defer d.sessMu.Unlock()
+	if s, ok := d.sessions[id]; ok {
+		return s, nil
+	}
+	pr, pw := io.Pipe()
+	req, err := http.NewRequest(http.MethodPost, d.base+"/v1/session", pr)
+	if err != nil {
+		pw.Close()
+		return nil, err
+	}
+	req.Header.Set("Content-Type", wire.ContentType)
+	s := &wireSession{pw: pw, enc: wire.NewEncoder(pw), done: make(chan sessionResult, 1)}
+	go func() {
+		resp, err := d.sessClient.Do(req)
+		if err != nil {
+			pr.CloseWithError(err) // unblock any in-flight Encode
+			s.done <- sessionResult{err: err}
+			return
+		}
+		defer resp.Body.Close()
+		data, err := io.ReadAll(resp.Body)
+		if err != nil {
+			s.done <- sessionResult{err: err}
+			return
+		}
+		if resp.StatusCode/100 != 2 {
+			s.done <- sessionResult{err: fmt.Errorf("POST %s/v1/session: %s: %s",
+				d.base, resp.Status, strings.TrimSpace(string(data)))}
+			return
+		}
+		var body struct {
+			Kept int64 `json:"kept"`
+		}
+		if err := json.Unmarshal(data, &body); err != nil {
+			s.done <- sessionResult{err: err}
+			return
+		}
+		s.done <- sessionResult{kept: body.Kept}
+	}()
+	d.sessions[id] = s
+	return s, nil
+}
+
+// drain closes every live session and folds the daemon's totals in. A
+// no-op for every other wire (and for runs that never offered).
+func (d *httpDriver) drain() (int64, error) {
+	d.sessMu.Lock()
+	sessions := d.sessions
+	d.sessions = map[string]*wireSession{}
+	d.sessMu.Unlock()
+	var kept int64
+	var errs []error
+	for id, s := range sessions {
+		s.pw.Close()
+		res := <-s.done
+		if res.err != nil {
+			errs = append(errs, fmt.Errorf("session %s: %w", id, res.err))
+			continue
+		}
+		kept += res.kept
+	}
+	return kept, errors.Join(errs...)
+}
+
+func (d *httpDriver) finish(id string) error {
+	_, err := d.doJSON(http.MethodDelete, d.base+"/v1/streams/"+id, nil)
 	return err
 }
 
-func (d httpDriver) createGroup(id string, specs []sampling.Spec, estimator estimate.Method) error {
+func (d *httpDriver) createGroup(id string, specs []sampling.Spec, estimator estimate.Method) error {
 	req := map[string]any{"specs": specs}
 	if estimator != "" {
 		req["estimator"] = string(estimator)
@@ -316,30 +530,20 @@ func (d httpDriver) createGroup(id string, specs []sampling.Spec, estimator esti
 	if err != nil {
 		return err
 	}
-	_, err = d.do(http.MethodPut, d.base+"/v1/groups/"+id, body)
+	_, err = d.doJSON(http.MethodPut, d.base+"/v1/groups/"+id, body)
 	return err
 }
 
-func (d httpDriver) offerGroup(id string, batch []float64) (int, error) {
-	body, err := json.Marshal(batch)
+func (d *httpDriver) offerGroup(id string, batch []float64) (int, error) {
+	data, err := d.postBatch(d.base+"/v1/groups/"+id+"/ticks", batch)
 	if err != nil {
 		return 0, err
 	}
-	data, err := d.do(http.MethodPost, d.base+"/v1/groups/"+id+"/ticks", body)
-	if err != nil {
-		return 0, err
-	}
-	var resp struct {
-		Kept int `json:"kept"`
-	}
-	if err := json.Unmarshal(data, &resp); err != nil {
-		return 0, err
-	}
-	return resp.Kept, nil
+	return parseKept(data)
 }
 
-func (d httpDriver) comparison(id string) (sampling.Comparison, error) {
-	data, err := d.do(http.MethodGet, d.base+"/v1/groups/"+id, nil)
+func (d *httpDriver) comparison(id string) (sampling.Comparison, error) {
+	data, err := d.doJSON(http.MethodGet, d.base+"/v1/groups/"+id, nil)
 	if err != nil {
 		return sampling.Comparison{}, err
 	}
@@ -350,8 +554,8 @@ func (d httpDriver) comparison(id string) (sampling.Comparison, error) {
 	return cmp, nil
 }
 
-func (d httpDriver) finishGroup(id string) error {
-	_, err := d.do(http.MethodDelete, d.base+"/v1/groups/"+id, nil)
+func (d *httpDriver) finishGroup(id string) error {
+	_, err := d.doJSON(http.MethodDelete, d.base+"/v1/groups/"+id, nil)
 	return err
 }
 
@@ -450,6 +654,16 @@ func runLoad(cfg loadConfig, out io.Writer) (loadResult, error) {
 	if err != nil {
 		return loadResult{}, err
 	}
+	// The session wire only reports kept totals when its connections
+	// close; drain inside the timed window so ticks/s pays the full
+	// transport cost, end of stream included.
+	dstart := time.Now()
+	dkept, err := d.drain()
+	if err != nil {
+		return loadResult{}, err
+	}
+	kept += dkept
+	elapsed += time.Since(dstart)
 	// Read the Hurst blocks before teardown: Finish removes the streams.
 	var dr *driftReport
 	if method != "" {
@@ -503,7 +717,17 @@ func newDriver(cfg loadConfig) (driver, string) {
 	if !strings.Contains(addr, "://") {
 		addr = "http://" + addr
 	}
-	return httpDriver{base: addr, client: &http.Client{Timeout: 30 * time.Second}}, addr
+	d := &httpDriver{
+		base:     addr,
+		client:   &http.Client{Timeout: 30 * time.Second},
+		wire:     cfg.wireName(),
+		sessions: map[string]*wireSession{},
+		// Sessions outlive any per-request deadline by design: one
+		// connection carries a whole run's frames.
+		sessClient: &http.Client{},
+	}
+	d.bufs.New = func() any { return new([]byte) }
+	return d, addr + " (" + d.wire + " wire)"
 }
 
 // runCompare is -compare mode: every "stream" becomes a comparison
@@ -569,6 +793,13 @@ func runCompare(cfg loadConfig, out io.Writer) error {
 	if err != nil {
 		return err
 	}
+	dstart := time.Now()
+	dkept, err := d.drain()
+	if err != nil {
+		return err
+	}
+	kept += dkept
+	elapsed += time.Since(dstart)
 
 	// Fold the per-group fidelity blocks into one row per technique
 	// before teardown: means over the groups where each score resolved.

@@ -3,15 +3,18 @@ package main
 import (
 	"bytes"
 	"encoding/json"
+	"io"
 	"math"
 	"net/http"
 	"net/http/httptest"
+	"strconv"
 	"strings"
 	"testing"
 
 	"repro/sampling"
 	"repro/sampling/estimate"
 	"repro/sampling/hub"
+	"repro/sampling/wire"
 )
 
 func TestDirectLoad(t *testing.T) {
@@ -68,6 +71,35 @@ func TestDirectLoadOnOffAndSeeds(t *testing.T) {
 	}
 }
 
+// fakeReadTicks parses the three single-POST batch encodings the
+// driver can send — JSON, whitespace text and one binary frame — just
+// enough protocol fidelity for the wire tests.
+func fakeReadTicks(r *http.Request) ([]float64, error) {
+	switch ct := r.Header.Get("Content-Type"); {
+	case strings.HasPrefix(ct, wire.ContentType):
+		_, values, err := wire.NewDecoder(r.Body, 0).ReadFrame()
+		return values, err
+	case strings.HasPrefix(ct, "text/plain"):
+		data, err := io.ReadAll(r.Body)
+		if err != nil {
+			return nil, err
+		}
+		var values []float64
+		for _, field := range strings.Fields(string(data)) {
+			v, err := strconv.ParseFloat(field, 64)
+			if err != nil {
+				return nil, err
+			}
+			values = append(values, v)
+		}
+		return values, nil
+	default:
+		var values []float64
+		err := json.NewDecoder(r.Body).Decode(&values)
+		return values, err
+	}
+}
+
 // fakeDaemon mirrors the sampled daemon's v1 surface over a hub — just
 // enough protocol for the HTTP driver to run against a loopback port.
 func fakeDaemon(h *hub.Hub) http.Handler {
@@ -100,8 +132,8 @@ func fakeDaemon(h *hub.Hub) http.Handler {
 		json.NewEncoder(w).Encode(sum.Hurst)
 	})
 	mux.HandleFunc("POST /v1/streams/{id}/ticks", func(w http.ResponseWriter, r *http.Request) {
-		var values []float64
-		if err := json.NewDecoder(r.Body).Decode(&values); err != nil {
+		values, err := fakeReadTicks(r)
+		if err != nil {
 			http.Error(w, err.Error(), http.StatusBadRequest)
 			return
 		}
@@ -111,6 +143,27 @@ func fakeDaemon(h *hub.Hub) http.Handler {
 			return
 		}
 		json.NewEncoder(w).Encode(map[string]int{"accepted": len(values), "kept": kept})
+	})
+	mux.HandleFunc("POST /v1/session", func(w http.ResponseWriter, r *http.Request) {
+		dec := wire.NewDecoder(r.Body, 0)
+		var kept int64
+		for {
+			id, values, err := dec.ReadFrame()
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				http.Error(w, err.Error(), http.StatusBadRequest)
+				return
+			}
+			k, err := h.OfferBatch(id, values)
+			if err != nil {
+				http.Error(w, err.Error(), http.StatusNotFound)
+				return
+			}
+			kept += int64(k)
+		}
+		json.NewEncoder(w).Encode(map[string]int64{"kept": kept})
 	})
 	mux.HandleFunc("DELETE /v1/streams/{id}", func(w http.ResponseWriter, r *http.Request) {
 		if _, _, err := h.Finish(r.PathValue("id")); err != nil {
@@ -153,6 +206,80 @@ func TestHTTPLoad(t *testing.T) {
 		t.Errorf("%d streams left behind on the daemon", h.Len())
 	}
 	t.Logf("http mode: %.3g ticks/s aggregate", res.ticksPerSec())
+}
+
+// TestHTTPLoadWires drives the same workload through each alternate
+// HTTP encoding: the totals must not depend on the wire.
+func TestHTTPLoadWires(t *testing.T) {
+	for _, w := range []string{"text", "binary", "session"} {
+		t.Run(w, func(t *testing.T) {
+			h := hub.New()
+			srv := httptest.NewServer(fakeDaemon(h))
+			defer srv.Close()
+			cfg := loadConfig{
+				addr:    srv.URL,
+				streams: 4,
+				ticks:   1000,
+				batch:   250,
+				workers: 2,
+				wire:    w,
+				spec:    "systematic:interval=50",
+				traffic: "fgn",
+				hurst:   0.8,
+				seed:    1,
+			}
+			var buf bytes.Buffer
+			res, err := runLoad(cfg, &buf)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if want := int64(cfg.streams * cfg.ticks); res.ticks != want {
+				t.Errorf("ingested %d ticks, want %d", res.ticks, want)
+			}
+			if want := int64(cfg.streams * cfg.ticks / 50); res.kept != want {
+				t.Errorf("kept %d samples, want %d", res.kept, want)
+			}
+			if h.Len() != 0 {
+				t.Errorf("%d streams left behind on the daemon", h.Len())
+			}
+			if !strings.Contains(buf.String(), "("+w+" wire)") {
+				t.Errorf("run output does not name the wire:\n%s", buf.String())
+			}
+		})
+	}
+}
+
+func TestCheckWire(t *testing.T) {
+	if got := (loadConfig{}).wireName(); got != "json" {
+		t.Errorf("zero-value wire resolves to %q, want json", got)
+	}
+	for _, ok := range []loadConfig{
+		{wire: "json"},
+		{wire: "text"},
+		{wire: "binary"},
+		{wire: "session"},
+		{direct: true},
+		{direct: true, wire: "json"},
+		{compare: "a;b", wire: "binary"},
+	} {
+		if err := ok.checkWire(); err != nil {
+			t.Errorf("checkWire(%+v) = %v, want nil", ok, err)
+		}
+	}
+	for name, bad := range map[string]loadConfig{
+		"unknown wire":         {wire: "carrier-pigeon"},
+		"direct with binary":   {direct: true, wire: "binary"},
+		"compare with session": {compare: "a;b", wire: "session"},
+	} {
+		if err := bad.checkWire(); err == nil {
+			t.Errorf("%s accepted", name)
+		}
+	}
+	// The flag path surfaces the same rejection.
+	var buf bytes.Buffer
+	if err := run([]string{"-direct", "-wire", "binary"}, &buf); err == nil {
+		t.Error("run accepted -direct -wire binary")
+	}
 }
 
 func TestRunFlagsAndOutput(t *testing.T) {

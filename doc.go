@@ -19,7 +19,14 @@
 // shutdown), and cmd/sampleload is the matching load generator, driving
 // N concurrent streams of fGn or ON/OFF traffic in-process (-direct) or
 // over HTTP and reporting the achieved ticks/sec. Spec and Summary have
-// JSON wire forms for exactly this use.
+// JSON wire forms for exactly this use. For high-rate ingest,
+// sampling/wire defines a length-prefixed, CRC-checked binary
+// tick-batch framing (content type application/x-tickbatch) that the
+// daemon decodes zero-copy through pooled buffers on the same /ticks
+// endpoints, plus a persistent session mode (POST /v1/session) that
+// streams many frames, routed by embedded stream id, over one
+// connection; sampleload selects the encoding with -wire
+// {json,text,binary,session}.
 //
 // Engines built with sampling.WithEstimator carry the online
 // long-range-dependence subsystem (sampling/estimate): incremental

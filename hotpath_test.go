@@ -7,6 +7,12 @@ package repro_test
 // those packages' sources and fails on any call spelled `.Offer(...)`,
 // so a refactor that quietly reintroduces per-tick locking on a hot
 // path breaks the build gate instead of only the benchmarks.
+//
+// The daemon and the wire codec are additionally held off io.ReadAll:
+// binary ingest decodes frames incrementally through pooled buffers,
+// and slurping a request body (or a session stream, which never ends)
+// into one allocation would undo both the zero-copy decode path and
+// the MaxBytesReader size bounds.
 
 import (
 	"go/ast"
@@ -18,20 +24,27 @@ import (
 	"testing"
 )
 
-// hotPathDirs are the ingest layers held to the batch form. Test files
-// are exempt: equivalence tests deliberately drive the tick path as the
-// reference.
-var hotPathDirs = []string{
-	"sampling/hub",
-	"cmd/sampled",
-	"cmd/sampleload",
+// hotPathDirs are the ingest layers under guard. Test files are
+// exempt: equivalence tests deliberately drive the tick path as the
+// reference, and benchmarks drain response bodies with io.ReadAll.
+// banReadAll marks the directories on the serving side of the wire;
+// sampleload's response handling legitimately slurps small JSON
+// replies.
+var hotPathDirs = []struct {
+	dir        string
+	banReadAll bool
+}{
+	{"sampling/hub", false},
+	{"sampling/wire", true},
+	{"cmd/sampled", true},
+	{"cmd/sampleload", false},
 }
 
 func TestHotPathsUseBatchOffer(t *testing.T) {
-	for _, dir := range hotPathDirs {
-		entries, err := os.ReadDir(dir)
+	for _, hp := range hotPathDirs {
+		entries, err := os.ReadDir(hp.dir)
 		if err != nil {
-			t.Fatalf("reading %s: %v", dir, err)
+			t.Fatalf("reading %s: %v", hp.dir, err)
 		}
 		sawSource := false
 		for _, e := range entries {
@@ -40,7 +53,7 @@ func TestHotPathsUseBatchOffer(t *testing.T) {
 				continue
 			}
 			sawSource = true
-			path := filepath.Join(dir, name)
+			path := filepath.Join(hp.dir, name)
 			fset := token.NewFileSet()
 			file, err := parser.ParseFile(fset, path, nil, 0)
 			if err != nil {
@@ -52,17 +65,30 @@ func TestHotPathsUseBatchOffer(t *testing.T) {
 					return true
 				}
 				sel, ok := call.Fun.(*ast.SelectorExpr)
-				if !ok || sel.Sel.Name != "Offer" {
+				if !ok {
 					return true
 				}
 				pos := fset.Position(sel.Sel.Pos())
-				t.Errorf("%s:%d: hot path calls .Offer — use OfferBatch (Offer is the single-tick convenience form)",
-					path, pos.Line)
+				switch {
+				case sel.Sel.Name == "Offer":
+					t.Errorf("%s:%d: hot path calls .Offer — use OfferBatch (Offer is the single-tick convenience form)",
+						path, pos.Line)
+				case hp.banReadAll && sel.Sel.Name == "ReadAll" && isPackageIdent(sel.X, "io"):
+					t.Errorf("%s:%d: ingest path calls io.ReadAll — decode incrementally through pooled buffers (slurping a body defeats the size bounds and the zero-copy wire)",
+						path, pos.Line)
+				}
 				return true
 			})
 		}
 		if !sawSource {
-			t.Fatalf("%s holds no non-test Go sources — guard list stale", dir)
+			t.Fatalf("%s holds no non-test Go sources — guard list stale", hp.dir)
 		}
 	}
+}
+
+// isPackageIdent reports whether expr is the bare identifier name —
+// the shape of a package qualifier in a selector like io.ReadAll.
+func isPackageIdent(expr ast.Expr, name string) bool {
+	id, ok := expr.(*ast.Ident)
+	return ok && id.Name == name
 }

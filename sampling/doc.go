@@ -58,6 +58,14 @@
 //
 //	kept := eng.OfferBatch(ticks) // atomic w.r.t. Snapshot and Finish
 //
+// Across processes the batch has a binary wire form: the sampling/wire
+// subpackage frames a stream id plus a []float64 payload as a
+// length-prefixed, CRC-checked tick-batch frame
+// (application/x-tickbatch) that decodes with zero allocations
+// straight into the slice OfferBatch consumes — the encoding the
+// sampled daemon accepts on its ingest endpoints and streams over
+// persistent sessions.
+//
 // # Comparison groups (v2)
 //
 // The paper's core experiment — competing techniques judged on the

@@ -1,0 +1,234 @@
+// Package wire is the binary tick-batch frame codec of the sampling
+// service — the wire format that closes the gap between HTTP ingest
+// and in-process OfferBatch. JSON and whitespace text pay a parse per
+// tick; a tick-batch frame is decoded straight into the []float64
+// handed to the engine, with no per-tick branching beyond a finiteness
+// check and no allocations once the decoder's buffers are warm.
+//
+// # Frame layout
+//
+// One frame carries one batch of ticks for one stream, little-endian
+// throughout:
+//
+//	offset  size      field
+//	0       4         magic 0x6b636954 (the bytes "Tick")
+//	4       1         version (currently 1)
+//	5       1         idLen — length of the stream id in bytes
+//	6       4         count — ticks in the payload (uint32)
+//	10      idLen     stream id (UTF-8; may be empty when the URL names the stream)
+//	10+idLen count*8  payload: count IEEE-754 float64 ticks
+//	...     4         CRC-32 (IEEE) over everything above
+//
+// The count field is the frame-declared batch size: a decoder checks
+// it against its cap before reading (or allocating for) the payload,
+// so a malformed or hostile length prefix cannot balloon memory. The
+// trailing CRC covers header, id and payload; a flipped bit anywhere
+// is an ErrChecksum, not a corrupted stream.
+//
+// Frames are self-delimiting, so a connection can carry any number of
+// them back to back — the sampled daemon accepts a body of frames on
+// POST /v1/streams/{id}/ticks (Content-Type application/x-tickbatch)
+// and a long-lived stream of them on POST /v1/session, where each
+// frame's embedded id routes it.
+//
+// # Reuse
+//
+// Encoder and Decoder both own their buffers and reuse them across
+// frames; the ticks slice returned by Decoder.ReadFrame is valid only
+// until the next call. Both are single-goroutine objects — pool them
+// (sync.Pool plus Reset) rather than sharing one across connections.
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+)
+
+// ContentType is the MIME type announcing a body of tick-batch frames.
+const ContentType = "application/x-tickbatch"
+
+const (
+	// Magic opens every frame: the bytes "Tick" read as a little-endian
+	// uint32.
+	Magic = 0x6b636954
+	// Version is the current frame version; decoders reject others.
+	Version = 1
+	// MaxIDLen caps the embedded stream id (the idLen field is a byte).
+	MaxIDLen = 255
+	// DefaultMaxTicks is the decoder's frame-declared batch cap when the
+	// caller does not set one: 2^21 ticks, a 16 MiB payload.
+	DefaultMaxTicks = 1 << 21
+
+	headerSize  = 10
+	trailerSize = 4
+)
+
+// The typed failure modes of frame decoding; branch with errors.Is.
+// ErrFrameTooLarge is the retryable one — split the batch — and maps to
+// HTTP 413 in the sampled daemon; the rest are corruption (400).
+var (
+	// ErrBadMagic is wrapped when a frame does not open with Magic.
+	ErrBadMagic = errors.New("bad frame magic")
+	// ErrBadVersion is wrapped when the frame version is unknown.
+	ErrBadVersion = errors.New("unsupported frame version")
+	// ErrFrameTooLarge is wrapped when the declared count exceeds the
+	// decoder's cap.
+	ErrFrameTooLarge = errors.New("frame exceeds tick cap")
+	// ErrChecksum is wrapped when the trailing CRC does not match.
+	ErrChecksum = errors.New("frame checksum mismatch")
+	// ErrTruncated is wrapped when the input ends mid-frame.
+	ErrTruncated = errors.New("truncated frame")
+	// ErrNonFinite is wrapped when the payload carries NaN or ±Inf —
+	// one such tick would poison a stream's running moments for life,
+	// exactly as on the JSON and text wires.
+	ErrNonFinite = errors.New("non-finite tick value")
+	// ErrIDTooLong is returned by encoders for stream ids over MaxIDLen.
+	ErrIDTooLong = errors.New("stream id too long")
+)
+
+// AppendFrame appends one encoded frame to dst and returns the extended
+// slice — the allocation-free primitive under Encoder. The id may be
+// empty when the transport names the stream (the single-stream POST
+// path); ids longer than MaxIDLen fail with ErrIDTooLong.
+func AppendFrame(dst []byte, id string, ticks []float64) ([]byte, error) {
+	if len(id) > MaxIDLen {
+		return dst, fmt.Errorf("wire: id %q is %d bytes: %w", id, len(id), ErrIDTooLong)
+	}
+	start := len(dst)
+	dst = binary.LittleEndian.AppendUint32(dst, Magic)
+	dst = append(dst, Version, byte(len(id)))
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(len(ticks)))
+	dst = append(dst, id...)
+	for _, v := range ticks {
+		dst = binary.LittleEndian.AppendUint64(dst, math.Float64bits(v))
+	}
+	crc := crc32.ChecksumIEEE(dst[start:])
+	return binary.LittleEndian.AppendUint32(dst, crc), nil
+}
+
+// Encoder writes frames to one destination, reusing a single staging
+// buffer across calls. Not safe for concurrent use; give each
+// connection its own.
+type Encoder struct {
+	w   io.Writer
+	buf []byte
+}
+
+// NewEncoder builds an encoder writing to w.
+func NewEncoder(w io.Writer) *Encoder { return &Encoder{w: w} }
+
+// Reset points the encoder at a new destination, keeping its buffer —
+// the pooling hook.
+func (e *Encoder) Reset(w io.Writer) { e.w = w }
+
+// Encode writes one frame. The ticks slice is not retained.
+func (e *Encoder) Encode(id string, ticks []float64) error {
+	buf, err := AppendFrame(e.buf[:0], id, ticks)
+	e.buf = buf
+	if err != nil {
+		return err
+	}
+	_, err = e.w.Write(buf)
+	return err
+}
+
+// Decoder reads frames from one source, reusing its frame and tick
+// buffers across calls — after the first few frames the read path
+// allocates nothing. Not safe for concurrent use; pool decoders and
+// Reset them per connection.
+type Decoder struct {
+	r        io.Reader
+	maxTicks int
+	hdr      [headerSize]byte
+	body     []byte    // id + payload + crc staging
+	ticks    []float64 // decoded payload, reused across frames
+	lastID   string    // interned copy of the previous frame's id
+	lastIDB  []byte
+	frameLen int64
+}
+
+// NewDecoder builds a decoder over r. maxTicks caps the frame-declared
+// batch size (ticks per frame); zero or negative means DefaultMaxTicks.
+func NewDecoder(r io.Reader, maxTicks int) *Decoder {
+	if maxTicks <= 0 {
+		maxTicks = DefaultMaxTicks
+	}
+	return &Decoder{r: r, maxTicks: maxTicks}
+}
+
+// Reset points the decoder at a new source, keeping its buffers and
+// cap — the pooling hook.
+func (d *Decoder) Reset(r io.Reader) {
+	d.r = r
+	d.frameLen = 0
+}
+
+// FrameBytes reports the encoded size of the last frame ReadFrame
+// returned — what a server adds to its ingest-bytes counter.
+func (d *Decoder) FrameBytes() int64 { return d.frameLen }
+
+// ReadFrame decodes the next frame: the embedded stream id (empty when
+// the frame carries none) and the tick payload. The ticks slice is
+// owned by the decoder and valid only until the next call — hand it to
+// OfferBatch, which does not retain it, and move on. A clean end of
+// input at a frame boundary is io.EOF; an end mid-frame is
+// ErrTruncated.
+func (d *Decoder) ReadFrame() (id string, ticks []float64, err error) {
+	if _, err := io.ReadFull(d.r, d.hdr[:]); err != nil {
+		if err == io.EOF {
+			return "", nil, io.EOF
+		}
+		return "", nil, fmt.Errorf("wire: header: %w (%w)", err, ErrTruncated)
+	}
+	if m := binary.LittleEndian.Uint32(d.hdr[0:4]); m != Magic {
+		return "", nil, fmt.Errorf("wire: magic %#x: %w", m, ErrBadMagic)
+	}
+	if v := d.hdr[4]; v != Version {
+		return "", nil, fmt.Errorf("wire: version %d (want %d): %w", v, Version, ErrBadVersion)
+	}
+	idLen := int(d.hdr[5])
+	count := int(binary.LittleEndian.Uint32(d.hdr[6:10]))
+	// The declared count gates every allocation below: an adversarial
+	// length prefix is refused before a byte of payload is read.
+	if count > d.maxTicks {
+		return "", nil, fmt.Errorf("wire: frame declares %d ticks (cap %d): %w", count, d.maxTicks, ErrFrameTooLarge)
+	}
+	n := idLen + count*8 + trailerSize
+	if cap(d.body) < n {
+		d.body = make([]byte, n)
+	}
+	body := d.body[:n]
+	if _, err := io.ReadFull(d.r, body); err != nil {
+		return "", nil, fmt.Errorf("wire: body: %w (%w)", err, ErrTruncated)
+	}
+	crc := crc32.ChecksumIEEE(d.hdr[:])
+	crc = crc32.Update(crc, crc32.IEEETable, body[:n-trailerSize])
+	if want := binary.LittleEndian.Uint32(body[n-trailerSize:]); crc != want {
+		return "", nil, fmt.Errorf("wire: got crc %#x, frame says %#x: %w", crc, want, ErrChecksum)
+	}
+	if cap(d.ticks) < count {
+		d.ticks = make([]float64, count)
+	}
+	ticks = d.ticks[:count]
+	payload := body[idLen : idLen+count*8]
+	for i := range ticks {
+		v := math.Float64frombits(binary.LittleEndian.Uint64(payload[i*8:]))
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return "", nil, fmt.Errorf("wire: tick %d is %v: %w", i, v, ErrNonFinite)
+		}
+		ticks[i] = v
+	}
+	// Sessions repeat one hot stream's id frame after frame; interning
+	// against the previous id keeps the steady state allocation-free.
+	idb := body[:idLen]
+	if string(d.lastIDB) != string(idb) { // comparison does not allocate
+		d.lastID = string(idb)
+		d.lastIDB = append(d.lastIDB[:0], idb...)
+	}
+	d.frameLen = int64(headerSize + n)
+	return d.lastID, ticks, nil
+}

@@ -28,7 +28,11 @@ trap cleanup EXIT
 go build -o "$workdir/sampled" ./cmd/sampled
 go build -o "$workdir/sampleload" ./cmd/sampleload
 
-"$workdir/sampled" -addr "127.0.0.1:${PORT}" &
+# -hurst-metrics-every 0 recomputes the sampled_hurst_* aggregate on
+# every scrape: this script scrapes /metrics several times and asserts
+# gauge values between scrapes, so the default 10s cache would serve
+# stale readings.
+"$workdir/sampled" -addr "127.0.0.1:${PORT}" -hurst-metrics-every 0 &
 daemon_pid=$!
 
 # Wait for the listener (up to ~5s).
@@ -47,6 +51,22 @@ curl -sf "$BASE/v1/streams" > /dev/null
 # Drive it: N concurrent streams of fGn with the default aggvar
 # estimator, a couple of seconds of ingest on CI hardware.
 "$workdir/sampleload" -addr "127.0.0.1:${PORT}" -streams "$STREAMS" -ticks "$TICKS" -batch 512
+
+# The binary wire, in session mode: every stream one long-lived frame
+# connection, then check the frame counters it must have moved.
+"$workdir/sampleload" -addr "127.0.0.1:${PORT}" -wire session \
+    -streams "$STREAMS" -ticks "$TICKS" -batch 512
+metrics="$(curl -sf "$BASE/metrics")"
+frames="$(echo "$metrics" | awk '/^sampled_ingest_frames_total /{print $2}')"
+bytes="$(echo "$metrics" | awk '/^sampled_ingest_bytes_total /{print $2}')"
+if [ -z "$frames" ] || [ "$frames" -le 0 ]; then
+    echo "e2e: session ingest moved no frames (sampled_ingest_frames_total=${frames:-missing})" >&2
+    exit 1
+fi
+if [ -z "$bytes" ] || [ "$bytes" -le 0 ]; then
+    echo "e2e: session ingest moved no bytes (sampled_ingest_bytes_total=${bytes:-missing})" >&2
+    exit 1
+fi
 
 # The load tool finishes its streams; create one more so shutdown drains
 # a daemon with live state, and check the hurst document on the way.
