@@ -260,3 +260,105 @@ func TestListRejectsEmptyDeclarations(t *testing.T) {
 		t.Fatal("benchmark-less -list input accepted")
 	}
 }
+
+// TestParseBenchStripsGOMAXPROCSSuffix: a lone -N suffix is the core
+// count, not a benchmark identity — a run on a 48-core box must
+// satisfy a baseline recorded without the suffix, and a bare name
+// (the -cpu=1 shape) merges with its suffixed sibling under best-of.
+func TestParseBenchStripsGOMAXPROCSSuffix(t *testing.T) {
+	text := "BenchmarkDecode-48   \t 100\t 52.5 ns/op\n" +
+		"BenchmarkDecode   \t 100\t 48 ns/op\n" +
+		"BenchmarkEncode-2   \t 100\t 1.2e+03 ns/op\n"
+	got, err := parseBench(strings.NewReader(text))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got["BenchmarkDecode"] != 48 {
+		t.Errorf("BenchmarkDecode = %v, want bare/suffixed merged at min 48: %v", got["BenchmarkDecode"], got)
+	}
+	if _, raw := got["BenchmarkDecode-48"]; raw {
+		t.Errorf("suffix survived stripping: %v", got)
+	}
+	if got["BenchmarkEncode"] != 1200 {
+		t.Errorf("scientific-notation ns/op = %v, want 1200", got["BenchmarkEncode"])
+	}
+}
+
+// TestGateMatchesStrippedSuffix drives the stripping end to end: the
+// committed baseline names the benchmark without a core-count suffix,
+// the CI box reports with one, and the gate must pair them.
+func TestGateMatchesStrippedSuffix(t *testing.T) {
+	basePath, benchPath := writeFixtures(t, 5000,
+		"BenchmarkHubOfferParallel-48   \t 100\t 5100 ns/op\n")
+	var buf bytes.Buffer
+	if err := run([]string{"-baseline", basePath, "-bench", benchPath}, &buf); err != nil {
+		t.Fatalf("suffixed result did not satisfy unsuffixed baseline: %v\n%s", err, buf.String())
+	}
+}
+
+// TestParseBenchRejectsMalformedJSON: a line that opens like a -json
+// event but does not parse is corruption worth failing on — under
+// pipefail a truncated event stream must not silently gate on partial
+// results.
+func TestParseBenchRejectsMalformedJSON(t *testing.T) {
+	text := `{"Action":"output","Package":"repro/x","Output":"BenchmarkX-8 100 50 ns/op\n"}` + "\n" +
+		`{"Action":"output","Package":"repro/x",` + "\n"
+	_, err := parseBench(strings.NewReader(text))
+	if err == nil || !strings.Contains(err.Error(), "bad -json event") {
+		t.Fatalf("err = %v, want bad -json event", err)
+	}
+}
+
+// TestParseBenchRejectsBadTiming: a result line whose ns/op column is
+// not a number fails loudly in both the plain and the -json shapes.
+func TestParseBenchRejectsBadTiming(t *testing.T) {
+	for _, text := range []string{
+		"BenchmarkX-8   \t 100\t 12..5 ns/op\n",
+		`{"Action":"output","Package":"repro/x","Output":"BenchmarkX-8 100 1e+e3 ns/op\n"}` + "\n",
+	} {
+		if _, err := parseBench(strings.NewReader(text)); err == nil || !strings.Contains(err.Error(), "bad ns/op") {
+			t.Fatalf("err = %v for %q, want bad ns/op", err, text)
+		}
+	}
+}
+
+// TestParseBenchIgnoresUnrelatedNoise: compiler chatter and runner
+// framing lines are not results and not errors.
+func TestParseBenchIgnoresUnrelatedNoise(t *testing.T) {
+	text := "# repro/sampling [build flags]\ngoos: linux\nPASS\nok  \trepro\t0.1s\n"
+	got, err := parseBench(strings.NewReader(text))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 {
+		t.Errorf("noise parsed as results: %v", got)
+	}
+}
+
+// TestListCatchesVanishedSubBenchmarkParent: the baseline guards a
+// sub-benchmark whose parent declaration was deleted; the entry's
+// top-level prefix is what -list must be checked against.
+func TestListCatchesVanishedSubBenchmarkParent(t *testing.T) {
+	dir := t.TempDir()
+	basePath := filepath.Join(dir, "baseline.json")
+	base := baseline{Threshold: 0.20, Benchmarks: map[string]*benchSpec{
+		"BenchmarkGone/case": {NsPerOp: 10},
+	}}
+	data, err := json.Marshal(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(basePath, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	benchPath := filepath.Join(dir, "bench.txt")
+	if err := os.WriteFile(benchPath, []byte("BenchmarkGone/case-8 100 9 ns/op\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	listPath := writeList(t, "BenchmarkEstimatorTick")
+	var buf bytes.Buffer
+	err = run([]string{"-baseline", basePath, "-bench", benchPath, "-list", listPath}, &buf)
+	if err == nil || !strings.Contains(err.Error(), "BenchmarkGone/case") {
+		t.Fatalf("err = %v, want stale sub-benchmark entry named", err)
+	}
+}

@@ -55,6 +55,13 @@
 // evaluation; cmd/figures regenerates them and bench_test.go benchmarks
 // each one.
 //
+// The invariants the hot path depends on but the compiler cannot see —
+// batch-only ingest, no body slurping on the serving wire, seeded
+// randomness and injected clocks in the sampling core, zero-allocation
+// //samplelint:hotpath functions, null-for-NaN JSON wire structs — are
+// machine-enforced by the samplelint analyzer suite (internal/lint, run
+// via `go run ./cmd/samplelint ./...`), a hard gate in the CI lint job.
+//
 // See README.md for a tour, DESIGN.md for the system inventory and
 // EXPERIMENTS.md for paper-vs-measured results.
 package repro

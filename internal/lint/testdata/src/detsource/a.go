@@ -1,0 +1,44 @@
+package detsource
+
+import (
+	"math/rand/v2"
+	"time"
+)
+
+type engine struct {
+	rng   *rand.Rand
+	clock func() time.Time
+}
+
+// Constructors are the seeded path and referencing time.Now without
+// calling it is the default-clock idiom — both stay legal.
+func newEngine(seed uint64) *engine {
+	return &engine{
+		rng:   rand.New(rand.NewPCG(seed, seed)),
+		clock: time.Now,
+	}
+}
+
+func (e *engine) flaggedDraw() float64 {
+	return rand.Float64() // want `global math/rand/v2\.Float64`
+}
+
+func (e *engine) flaggedShuffle(xs []int) {
+	rand.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] }) // want `global math/rand/v2\.Shuffle`
+}
+
+func (e *engine) flaggedReference() func() float64 {
+	return rand.ExpFloat64 // want `global math/rand/v2\.ExpFloat64`
+}
+
+func (e *engine) flaggedNow() time.Time {
+	return time.Now() // want `calls time\.Now`
+}
+
+func (e *engine) allowedSeededDraw() float64 {
+	return e.rng.Float64()
+}
+
+func (e *engine) allowedInjectedClock() time.Time {
+	return e.clock()
+}

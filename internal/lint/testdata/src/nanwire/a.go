@@ -1,0 +1,54 @@
+package nanwire
+
+import "encoding/json"
+
+// BadPoint is the flagged shape: a live estimate is NaN before it
+// resolves, and encoding/json refuses NaN outright.
+type BadPoint struct { // want `BadPoint.*MarshalJSON`
+	H      float64 `json:"h"`
+	Levels int     `json:"levels"`
+}
+
+// PointerPoint uses the sanctioned *float64 wire form: nil already
+// encodes as null.
+type PointerPoint struct {
+	H *float64 `json:"h"`
+}
+
+// WrappedPoint owns its wire form through MarshalJSON — the
+// null-for-NaN path — so the plain float64 field is fine.
+type WrappedPoint struct {
+	H float64 `json:"h"`
+}
+
+func (w WrappedPoint) MarshalJSON() ([]byte, error) {
+	v := w.H
+	return json.Marshal(struct {
+		H *float64 `json:"h"`
+	}{&v})
+}
+
+// unexportedPoint is out of scope: unexported wire structs are the
+// implementation of the convention, not its surface.
+type unexportedPoint struct {
+	H float64 `json:"h"`
+}
+
+// SkippedField is never marshalled, so NaN cannot reach the wire.
+type SkippedField struct {
+	H float64 `json:"-"`
+}
+
+// UntaggedField declares no wire name; the convention gates declared
+// wire fields.
+type UntaggedField struct {
+	H float64
+}
+
+// IntFields cannot be NaN.
+type IntFields struct {
+	Levels int   `json:"levels"`
+	Ticks  int64 `json:"ticks"`
+}
+
+var _ = unexportedPoint{}

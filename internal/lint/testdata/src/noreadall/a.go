@@ -1,0 +1,49 @@
+package noreadall
+
+import (
+	"io"
+	slurp "io"
+	"strings"
+)
+
+func flaggedDirect(r io.Reader) ([]byte, error) {
+	return io.ReadAll(r) // want `io\.ReadAll`
+}
+
+// The seeded regression for the retired string guard: it keyed on the
+// selector's literal text being "io", so an aliased import smuggled
+// the slurp straight past it. The analyzer resolves the object.
+func flaggedAliased(r io.Reader) ([]byte, error) {
+	return slurp.ReadAll(r) // want `io\.ReadAll`
+}
+
+func flaggedReference() func(io.Reader) ([]byte, error) {
+	return io.ReadAll // want `io\.ReadAll`
+}
+
+type fakeIO struct{}
+
+func (fakeIO) ReadAll(s string) string { return s }
+
+// The old guard's false-positive shape, inverted: a local value named
+// io with its own ReadAll method is not the io package's ReadAll and
+// must pass.
+func allowedUnrelated() string {
+	io := fakeIO{}
+	return io.ReadAll("x")
+}
+
+func allowedIncremental(r io.Reader) (int, error) {
+	var total int
+	var buf [512]byte
+	for {
+		n, err := r.Read(buf[:])
+		total += n
+		if err != nil {
+			if strings.Contains(err.Error(), "EOF") {
+				return total, nil
+			}
+			return total, err
+		}
+	}
+}

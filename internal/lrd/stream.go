@@ -44,6 +44,8 @@ type StreamAggVar struct {
 
 // Tick folds the next observation into every aggregation level it
 // completes. It never allocates.
+//
+//samplelint:hotpath
 func (s *StreamAggVar) Tick(v float64) {
 	s.n++
 	s.accs[0].Add(v)
@@ -142,6 +144,8 @@ type StreamWavelet struct {
 }
 
 // Tick feeds the cascade one observation. It never allocates.
+//
+//samplelint:hotpath
 func (s *StreamWavelet) Tick(v float64) {
 	s.n++
 	a := v
@@ -207,6 +211,8 @@ func NewStreamRS(window int) *StreamRS {
 }
 
 // Tick records the observation in the ring. It never allocates.
+//
+//samplelint:hotpath
 func (s *StreamRS) Tick(v float64) {
 	s.window[s.pos] = v
 	s.pos++

@@ -132,6 +132,8 @@ func (e *Engine) Offer(value float64) (Sample, bool) {
 // Offer would pay one lock acquisition per tick. The batch is atomic
 // with respect to Finish and Snapshot — an observer sees either none or
 // all of it. After Finish, OfferBatch is a no-op returning 0.
+//
+//samplelint:hotpath
 func (e *Engine) OfferBatch(values []float64) (kept int) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
@@ -148,6 +150,8 @@ func (e *Engine) OfferBatch(values []float64) (kept int) {
 
 // offerOne advances the stream by one tick. Callers hold e.mu and have
 // checked e.finished.
+//
+//samplelint:hotpath
 func (e *Engine) offerOne(value float64) (Sample, bool) {
 	idx := e.seen
 	e.seen++
@@ -165,6 +169,7 @@ func (e *Engine) offerOne(value float64) (Sample, bool) {
 	return smp, true
 }
 
+//samplelint:hotpath
 func (e *Engine) record(s Sample) {
 	e.kept++
 	e.acc.Add(s.Value)

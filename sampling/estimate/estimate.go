@@ -115,6 +115,8 @@ func finish(method Method, ticks int64, e lrd.HurstEstimate, err error) Estimate
 type aggVar struct{ core lrd.StreamAggVar }
 
 func (a *aggVar) Method() Method { return AggVar }
+
+//samplelint:hotpath
 func (a *aggVar) Tick(v float64) { a.core.Tick(v) }
 func (a *aggVar) Ticks() int64   { return a.core.N() }
 func (a *aggVar) Estimate() Estimate {
@@ -125,6 +127,8 @@ func (a *aggVar) Estimate() Estimate {
 type wavelet struct{ core lrd.StreamWavelet }
 
 func (w *wavelet) Method() Method { return Wavelet }
+
+//samplelint:hotpath
 func (w *wavelet) Tick(v float64) { w.core.Tick(v) }
 func (w *wavelet) Ticks() int64   { return w.core.N() }
 func (w *wavelet) Estimate() Estimate {
@@ -135,6 +139,8 @@ func (w *wavelet) Estimate() Estimate {
 type rs struct{ core *lrd.StreamRS }
 
 func (r *rs) Method() Method { return RS }
+
+//samplelint:hotpath
 func (r *rs) Tick(v float64) { r.core.Tick(v) }
 func (r *rs) Ticks() int64   { return r.core.N() }
 func (r *rs) Estimate() Estimate {

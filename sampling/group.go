@@ -123,6 +123,8 @@ func (g *Group) Specs() []Spec {
 // them. The input-side accumulator and estimator consume each tick
 // exactly once regardless of the member count. After Finish, OfferBatch
 // is a no-op returning 0.
+//
+//samplelint:hotpath
 func (g *Group) OfferBatch(values []float64) (kept int) {
 	g.mu.Lock()
 	defer g.mu.Unlock()

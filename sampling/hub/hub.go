@@ -209,6 +209,8 @@ func (h *Hub) Create(id string, spec sampling.Spec, opts ...sampling.Option) err
 // tick. Ticks within one stream must come from a single goroutine
 // (batches from concurrent writers would interleave unpredictably);
 // batches for different streams run fully in parallel.
+//
+//samplelint:hotpath
 func (h *Hub) OfferBatch(id string, values []float64) (kept int, err error) {
 	sh, st, err := h.get(id)
 	if err != nil {
@@ -307,6 +309,8 @@ func (h *Hub) CreateGroup(id string, specs []sampling.Spec, opts ...sampling.Opt
 // group, any number of concurrent observers, batches for different
 // groups fully parallel. The group's tick counter counts input ticks,
 // not input x members.
+//
+//samplelint:hotpath
 func (h *Hub) OfferGroupBatch(id string, values []float64) (kept int, err error) {
 	sh, gs, err := h.getGroup(id)
 	if err != nil {

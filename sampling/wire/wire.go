@@ -94,6 +94,8 @@ var (
 // slice — the allocation-free primitive under Encoder. The id may be
 // empty when the transport names the stream (the single-stream POST
 // path); ids longer than MaxIDLen fail with ErrIDTooLong.
+//
+//samplelint:hotpath
 func AppendFrame(dst []byte, id string, ticks []float64) ([]byte, error) {
 	if len(id) > MaxIDLen {
 		return dst, fmt.Errorf("wire: id %q is %d bytes: %w", id, len(id), ErrIDTooLong)
@@ -126,6 +128,8 @@ func NewEncoder(w io.Writer) *Encoder { return &Encoder{w: w} }
 func (e *Encoder) Reset(w io.Writer) { e.w = w }
 
 // Encode writes one frame. The ticks slice is not retained.
+//
+//samplelint:hotpath
 func (e *Encoder) Encode(id string, ticks []float64) error {
 	buf, err := AppendFrame(e.buf[:0], id, ticks)
 	e.buf = buf
@@ -177,6 +181,8 @@ func (d *Decoder) FrameBytes() int64 { return d.frameLen }
 // OfferBatch, which does not retain it, and move on. A clean end of
 // input at a frame boundary is io.EOF; an end mid-frame is
 // ErrTruncated.
+//
+//samplelint:hotpath
 func (d *Decoder) ReadFrame() (id string, ticks []float64, err error) {
 	if _, err := io.ReadFull(d.r, d.hdr[:]); err != nil {
 		if err == io.EOF {
