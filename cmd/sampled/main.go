@@ -15,7 +15,9 @@
 //	GET    /v1/streams/{id}/hurst     live Hurst block: pre- vs post-sampling H (streams created with "estimator")
 //	DELETE /v1/streams/{id}           finish: final summary + end-of-stream samples
 //	GET    /v1/streams                live stream ids
-//	GET    /metrics                   Prometheus text format
+//	GET    /metrics                   Prometheus text format (rendered by internal/obs)
+//	GET    /debug/events              flight recorder: the most recent requests/errors as JSON
+//	GET    /debug/pprof/*             runtime profiles (only with -pprof)
 //
 // The v2 addition, comparison groups, fans one input stream out to
 // several techniques so they can be scored side by side on identical
@@ -41,6 +43,10 @@
 // graceful: SIGINT/SIGTERM stops accepting and drains in-flight
 // requests.
 //
+// Diagnostics are structured: -log-format {text,json} and -log-level
+// pick the slog handler, every request logs route/id/status/duration,
+// and -version prints the build (also exported as sampled_build_info).
+//
 // Example:
 //
 //	sampled -addr :8080 -ttl 10m &
@@ -54,7 +60,6 @@ import (
 	"errors"
 	"flag"
 	"fmt"
-	"log"
 	"net"
 	"net/http"
 	"os"
@@ -62,6 +67,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/obs"
 	"repro/sampling/hub"
 )
 
@@ -88,18 +94,31 @@ func run(ctx context.Context, args []string, ready chan<- net.Addr) error {
 		maxBody    = fs.Int64("max-body", 32<<20, "request body cap in bytes")
 		drain      = fs.Duration("drain", 10*time.Second, "graceful-shutdown drain timeout")
 		hurstEvery = fs.Duration("hurst-metrics-every", 10*time.Second, "refresh period of the O(streams) sampled_hurst_* aggregate on /metrics (0 = every scrape)")
+		logFormat  = fs.String("log-format", "text", "log output format: text or json")
+		logLevel   = fs.String("log-level", "info", "minimum log level: debug, info, warn or error (request logs are debug; 4xx/5xx are warn/error)")
+		pprofOn    = fs.Bool("pprof", false, "serve runtime profiles on /debug/pprof/")
+		events     = fs.Int("events", 256, "flight-recorder ring size behind /debug/events")
+		version    = fs.Bool("version", false, "print the build version and exit")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	if *version {
+		v, gv := obs.BuildInfo()
+		fmt.Printf("sampled %s %s\n", v, gv)
+		return nil
+	}
+	logger, err := obs.NewLogger(os.Stderr, *logFormat, *logLevel)
+	if err != nil {
+		return err
+	}
 	h := hub.New(hub.WithShards(*shards), hub.WithIdleTTL(*ttl))
-	logger := log.New(os.Stderr, "sampled: ", log.LstdFlags)
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
 		return err
 	}
-	logger.Printf("listening on %s (%d shards, ttl %s)", ln.Addr(), *shards, *ttl)
+	logger.Info("listening", "addr", ln.Addr().String(), "shards", *shards, "ttl", *ttl)
 	if ready != nil {
 		ready <- ln.Addr()
 	}
@@ -114,14 +133,16 @@ func run(ctx context.Context, args []string, ready chan<- net.Addr) error {
 					return
 				case <-t.C:
 					if n := h.Sweep(); n > 0 {
-						logger.Printf("evicted %d idle streams", n)
+						logger.Info("evicted idle streams", "count", n)
 					}
 				}
 			}
 		}()
 	}
 
-	srv := &http.Server{Handler: newServer(h, *maxBody, *hurstEvery)}
+	handler := newServer(h, *maxBody, *hurstEvery,
+		withLogger(logger), withPprof(*pprofOn), withEvents(*events))
+	srv := &http.Server{Handler: handler}
 	errc := make(chan error, 1)
 	go func() { errc <- srv.Serve(ln) }()
 
@@ -130,7 +151,7 @@ func run(ctx context.Context, args []string, ready chan<- net.Addr) error {
 		return err
 	case <-ctx.Done():
 	}
-	logger.Printf("shutting down (draining up to %s)", *drain)
+	logger.Info("shutting down", "drain", *drain)
 	sctx, cancel := context.WithTimeout(context.Background(), *drain)
 	defer cancel()
 	if err := srv.Shutdown(sctx); err != nil {
@@ -140,7 +161,8 @@ func run(ctx context.Context, args []string, ready chan<- net.Addr) error {
 		return err
 	}
 	st := h.Stats()
-	logger.Printf("served %d ticks across %d streams (%.0f ticks/s lifetime average) and %d group ticks across %d groups",
-		st.Ticks, st.Created, st.TicksPerSec, st.GroupTicks, st.GroupsCreated)
+	logger.Info("served",
+		"ticks", st.Ticks, "streams", st.Created, "ticks_per_sec", st.TicksPerSec,
+		"group_ticks", st.GroupTicks, "groups", st.GroupsCreated)
 	return nil
 }

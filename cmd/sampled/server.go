@@ -6,22 +6,25 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"log/slog"
 	"math"
 	"net/http"
+	"net/http/pprof"
 	"strconv"
 	"strings"
 	"sync"
-	"sync/atomic"
 	"time"
 
+	"repro/internal/obs"
 	"repro/sampling"
 	"repro/sampling/estimate"
 	"repro/sampling/hub"
 	"repro/sampling/wire"
 )
 
-// server is the HTTP face of a hub: the v1 stream resource plus a
-// Prometheus-style metrics endpoint.
+// server is the HTTP face of a hub: the v1 stream resource plus the
+// observability surface (/metrics, /debug/events and, opt-in,
+// /debug/pprof).
 type server struct {
 	hub     *hub.Hub
 	maxBody int64
@@ -30,11 +33,26 @@ type server struct {
 	// body cap divided by the 8 bytes a tick occupies on the wire), so
 	// a hostile length prefix is refused before any allocation; the
 	// decoders pool keeps frame and tick buffers warm across requests
-	// and sessions; the counters feed sampled_ingest_* on /metrics.
-	maxTicks     int
-	decoders     sync.Pool
-	ingestFrames atomic.Int64
-	ingestBytes  atomic.Int64
+	// and sessions.
+	maxTicks int
+	decoders sync.Pool
+
+	// The observability layer: every /metrics series renders from reg,
+	// rec is the flight recorder behind /debug/events, and the ingest
+	// instruments histogram each batch by wire.
+	reg          *obs.Registry
+	rec          *obs.Recorder
+	logger       *slog.Logger
+	ingestFrames *obs.Counter
+	ingestBytes  *obs.Counter
+	ingest       map[string]*wireInstruments
+
+	// statsCache and hurstCache are refreshed once per scrape by the
+	// registry's OnScrape hook and read by the func-backed series, all
+	// under the registry's scrape lock — one hub.Stats() walk feeds
+	// every mirrored counter.
+	statsCache hub.Stats
+	hurstCache hub.HurstStats
 
 	// The hub's Hurst aggregate costs O(streams) — one engine snapshot
 	// and regression per estimating stream — while every other /metrics
@@ -46,35 +64,202 @@ type server struct {
 	hurstStats hub.HurstStats
 }
 
+// wireInstruments is one ingest wire's histogram set: decode seconds,
+// encoded bytes and ticks per batch.
+type wireInstruments struct {
+	decode *obs.Histogram
+	bytes  *obs.Histogram
+	ticks  *obs.Histogram
+}
+
+// serverConfig carries the optional observability knobs; the zero
+// value (no logger, no pprof, default recorder) is what the unit
+// tests run with.
+type serverConfig struct {
+	logger *slog.Logger
+	pprof  bool
+	events int
+}
+
+type serverOption func(*serverConfig)
+
+// withLogger attaches the request-scoped structured log.
+func withLogger(l *slog.Logger) serverOption {
+	return func(c *serverConfig) { c.logger = l }
+}
+
+// withPprof mounts net/http/pprof under /debug/pprof/.
+func withPprof(on bool) serverOption {
+	return func(c *serverConfig) { c.pprof = on }
+}
+
+// withEvents sizes the flight recorder ring.
+func withEvents(n int) serverOption {
+	return func(c *serverConfig) { c.events = n }
+}
+
 // newServer builds the daemon's handler around an existing hub. maxBody
 // caps request bodies in bytes (0 means the default of 32 MiB) — an
 // ingest batch bigger than that should be split by the client anyway.
 // hurstEvery is the refresh period of the O(streams) sampled_hurst_*
 // aggregate on /metrics; 0 recomputes on every scrape.
-func newServer(h *hub.Hub, maxBody int64, hurstEvery time.Duration) http.Handler {
+func newServer(h *hub.Hub, maxBody int64, hurstEvery time.Duration, opts ...serverOption) http.Handler {
 	if maxBody <= 0 {
 		maxBody = 32 << 20
 	}
-	s := &server{hub: h, maxBody: maxBody, hurstEvery: hurstEvery}
+	cfg := serverConfig{events: 256}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	s := &server{hub: h, maxBody: maxBody, hurstEvery: hurstEvery, logger: cfg.logger}
 	s.maxTicks = int(maxBody / 8)
 	if s.maxTicks < 1 {
 		s.maxTicks = 1
 	}
+	s.reg = obs.NewRegistry()
+	s.rec = obs.NewRecorder(cfg.events)
+	s.registerMetrics()
+
+	// Every route is wrapped individually so its duration/size
+	// histograms carry the static pattern as the route label and the
+	// flight recorder sees the stream id; the "/" catch-all gives
+	// unmatched paths a route of their own instead of vanishing.
+	routes := []struct {
+		pattern string
+		label   string
+		handler http.Handler
+	}{
+		{"PUT /v1/streams/{id}", "", http.HandlerFunc(s.createStream)},
+		{"POST /v1/session", "", http.HandlerFunc(s.session)},
+		{"POST /v1/streams/{id}/ticks", "", http.HandlerFunc(s.offerTicks)},
+		{"GET /v1/streams/{id}/snapshot", "", http.HandlerFunc(s.snapshot)},
+		{"GET /v1/streams/{id}/hurst", "", http.HandlerFunc(s.hurst)},
+		{"DELETE /v1/streams/{id}", "", http.HandlerFunc(s.finishStream)},
+		{"GET /v1/streams", "", http.HandlerFunc(s.listStreams)},
+		{"PUT /v1/groups/{id}", "", http.HandlerFunc(s.createGroup)},
+		{"POST /v1/groups/{id}/ticks", "", http.HandlerFunc(s.offerGroupTicks)},
+		{"GET /v1/groups/{id}", "", http.HandlerFunc(s.groupSnapshot)},
+		{"DELETE /v1/groups/{id}", "", http.HandlerFunc(s.finishGroup)},
+		{"GET /v1/groups", "", http.HandlerFunc(s.listGroups)},
+		{"GET /metrics", "", http.HandlerFunc(s.metrics)},
+		{"GET /debug/events", "", s.rec},
+		{"/", "other", http.HandlerFunc(s.notFound)},
+	}
+	labels := make([]string, len(routes))
+	for i, rt := range routes {
+		labels[i] = rt.label
+		if labels[i] == "" {
+			labels[i] = rt.pattern
+		}
+	}
+	httpObs := obs.NewHTTPObserver(s.reg, "sampled", labels, s.rec, cfg.logger)
 	mux := http.NewServeMux()
-	mux.HandleFunc("PUT /v1/streams/{id}", s.createStream)
-	mux.HandleFunc("POST /v1/session", s.session)
-	mux.HandleFunc("POST /v1/streams/{id}/ticks", s.offerTicks)
-	mux.HandleFunc("GET /v1/streams/{id}/snapshot", s.snapshot)
-	mux.HandleFunc("GET /v1/streams/{id}/hurst", s.hurst)
-	mux.HandleFunc("DELETE /v1/streams/{id}", s.finishStream)
-	mux.HandleFunc("GET /v1/streams", s.listStreams)
-	mux.HandleFunc("PUT /v1/groups/{id}", s.createGroup)
-	mux.HandleFunc("POST /v1/groups/{id}/ticks", s.offerGroupTicks)
-	mux.HandleFunc("GET /v1/groups/{id}", s.groupSnapshot)
-	mux.HandleFunc("DELETE /v1/groups/{id}", s.finishGroup)
-	mux.HandleFunc("GET /v1/groups", s.listGroups)
-	mux.HandleFunc("GET /metrics", s.metrics)
+	for i, rt := range routes {
+		mux.Handle(rt.pattern, httpObs.Wrap(labels[i], rt.handler))
+	}
+	if cfg.pprof {
+		// Deliberately uninstrumented: a 30s CPU profile in the
+		// duration histogram would bury the serving tail.
+		mux.HandleFunc("GET /debug/pprof/", pprof.Index)
+		mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
+	}
 	return mux
+}
+
+// registerMetrics declares every /metrics family. The hub-owned
+// series keep their pre-obs names and HELP text byte for byte; they
+// read from the per-scrape stats caches so one Stats() walk (and one
+// rate-limited Hurst aggregate) serves the whole exposition.
+func (s *server) registerMetrics() {
+	r := s.reg
+	r.OnScrape(func() {
+		s.statsCache = s.hub.Stats()
+		s.hurstCache = s.hurstAggregate()
+	})
+	counter := func(name, help string, v func() float64) { r.NewCounterFunc(name, help, v) }
+	gauge := func(name, help string, v func() float64) { r.NewGaugeFunc(name, help, v) }
+
+	gauge("sampled_streams", "Live sampling streams.",
+		func() float64 { return float64(s.statsCache.Streams) })
+	counter("sampled_streams_created_total", "Streams ever created.",
+		func() float64 { return float64(s.statsCache.Created) })
+	counter("sampled_streams_evicted_total", "Streams evicted after the idle TTL.",
+		func() float64 { return float64(s.statsCache.Evicted) })
+	counter("sampled_ticks_total", "Ticks ingested across all streams.",
+		func() float64 { return float64(s.statsCache.Ticks) })
+	counter("sampled_samples_kept_total", "Samples kept across all streams.",
+		func() float64 { return float64(s.statsCache.Kept) })
+	gauge("sampled_groups", "Live comparison groups.",
+		func() float64 { return float64(s.statsCache.Groups) })
+	counter("sampled_groups_created_total", "Comparison groups ever created.",
+		func() float64 { return float64(s.statsCache.GroupsCreated) })
+	counter("sampled_groups_evicted_total", "Comparison groups evicted after the idle TTL.",
+		func() float64 { return float64(s.statsCache.GroupsEvicted) })
+	counter("sampled_group_ticks_total", "Input ticks ingested by comparison groups (each fans out to every member).",
+		func() float64 { return float64(s.statsCache.GroupTicks) })
+	counter("sampled_group_samples_kept_total", "Samples kept across all group members.",
+		func() float64 { return float64(s.statsCache.GroupKept) })
+	gauge("sampled_uptime_seconds", "Seconds since the hub started.",
+		func() float64 { return s.statsCache.Uptime.Seconds() })
+	gauge("sampled_ticks_per_second_avg", "Lifetime average ingest rate.",
+		func() float64 { return s.statsCache.TicksPerSec })
+
+	gauge("sampled_hurst_streams_estimating", "Live streams carrying an online Hurst estimator.",
+		func() float64 { return float64(s.hurstCache.Estimating) })
+	// The means stay NaN until a stream resolves. They are emitted on
+	// every scrape regardless — a NaN sample, not a vanishing series —
+	// so scrapers never see series churn; null-for-NaN is a JSON-wire
+	// convention only.
+	gauge("sampled_hurst_input_h_mean", "Mean pre-sampling Hurst estimate over resolved streams.",
+		func() float64 { return s.hurstCache.MeanInputH })
+	gauge("sampled_hurst_kept_h_mean", "Mean post-sampling Hurst estimate over resolved streams.",
+		func() float64 { return s.hurstCache.MeanKeptH })
+	gauge("sampled_hurst_drift_mean", "Mean kept-minus-input Hurst drift over resolved streams.",
+		func() float64 { return s.hurstCache.MeanDrift })
+
+	s.ingestFrames = r.NewCounter("sampled_ingest_frames_total",
+		"Binary tick-batch frames decoded (single-shot POSTs and streaming sessions).")
+	s.ingestBytes = r.NewCounter("sampled_ingest_bytes_total",
+		"Bytes of binary tick-batch frames decoded.")
+	decode := r.NewHistogramVec("sampled_ingest_decode_seconds",
+		"Time to decode one ingest batch, by wire.", obs.ExpBuckets(1e-6, 4, 10), "wire")
+	frameBytes := r.NewHistogramVec("sampled_ingest_frame_bytes",
+		"Encoded size of one ingest batch, by wire.", obs.ExpBuckets(64, 4, 10), "wire")
+	batchTicks := r.NewHistogramVec("sampled_ingest_batch_ticks",
+		"Ticks per ingest batch, by wire.", obs.ExpBuckets(1, 4, 10), "wire")
+	s.ingest = make(map[string]*wireInstruments, 4)
+	for _, w := range []string{"json", "text", "binary", "session"} {
+		s.ingest[w] = &wireInstruments{
+			decode: decode.With(w),
+			bytes:  frameBytes.With(w),
+			ticks:  batchTicks.With(w),
+		}
+	}
+
+	version, goVersion := obs.BuildInfo()
+	r.NewGaugeVec("sampled_build_info", "Build metadata; the value is always 1.",
+		"version", "go_version").With(version, goVersion).Set(1)
+	obs.RegisterRuntime(r, "sampled")
+}
+
+// observeIngest records one decoded batch into the wire's histograms.
+// bytes < 0 (an unknown content length) skips the size observation.
+func (s *server) observeIngest(wire string, decode time.Duration, bytes int64, ticks int) {
+	wi := s.ingest[wire]
+	wi.decode.Observe(decode.Seconds())
+	if bytes >= 0 {
+		wi.bytes.Observe(float64(bytes))
+	}
+	wi.ticks.Observe(float64(ticks))
+}
+
+// notFound is the instrumented catch-all: unmatched paths surface as
+// route="other" in the request metrics instead of bypassing them.
+func (s *server) notFound(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusNotFound, map[string]string{"error": "no such route"})
 }
 
 // statusFor maps the typed error chain onto an HTTP status: client
@@ -252,6 +437,23 @@ func (s *server) readTicks(w http.ResponseWriter, r *http.Request) (values []flo
 	return values, true
 }
 
+// readTicksObserved is readTicks plus the per-wire decode histograms:
+// parse time, declared body size and batch tick count land under
+// wire="json" or wire="text".
+func (s *server) readTicksObserved(w http.ResponseWriter, r *http.Request) ([]float64, bool) {
+	wireName := "text"
+	if strings.HasPrefix(r.Header.Get("Content-Type"), "application/json") {
+		wireName = "json"
+	}
+	start := time.Now()
+	values, ok := s.readTicks(w, r)
+	if !ok {
+		return nil, false
+	}
+	s.observeIngest(wireName, time.Since(start), r.ContentLength, len(values))
+	return values, true
+}
+
 // offerTicks ingests one batch into a stream. Ticks within one stream
 // must be posted sequentially; batches for different streams are fully
 // concurrent. A Content-Type of application/x-tickbatch switches the
@@ -262,7 +464,7 @@ func (s *server) offerTicks(w http.ResponseWriter, r *http.Request) {
 		s.offerFrames(w, r, s.hub.OfferBatch)
 		return
 	}
-	values, ok := s.readTicks(w, r)
+	values, ok := s.readTicksObserved(w, r)
 	if !ok {
 		return
 	}
@@ -314,7 +516,9 @@ func (s *server) offerFrames(w http.ResponseWriter, r *http.Request, offer func(
 	defer s.decoders.Put(dec)
 	accepted, kept, frames := 0, 0, 0
 	for {
+		start := time.Now()
 		frameID, values, err := dec.ReadFrame()
+		decodeDur := time.Since(start)
 		if err == io.EOF {
 			break
 		}
@@ -332,8 +536,9 @@ func (s *server) offerFrames(w http.ResponseWriter, r *http.Request, offer func(
 			writeError(w, err)
 			return
 		}
-		s.ingestFrames.Add(1)
-		s.ingestBytes.Add(dec.FrameBytes())
+		s.ingestFrames.Inc()
+		s.ingestBytes.Add(uint64(dec.FrameBytes()))
+		s.observeIngest("binary", decodeDur, dec.FrameBytes(), len(values))
 		accepted += len(values)
 		kept += k
 		frames++
@@ -382,7 +587,9 @@ func (s *server) session(w http.ResponseWriter, r *http.Request) {
 			"error": msg, "frames": resp.Frames, "accepted": resp.Accepted, "kept": resp.Kept})
 	}
 	for {
+		start := time.Now()
 		id, values, err := dec.ReadFrame()
+		decodeDur := time.Since(start)
 		if err == io.EOF {
 			break
 		}
@@ -403,8 +610,9 @@ func (s *server) session(w http.ResponseWriter, r *http.Request) {
 			fail(statusFor(err), err.Error())
 			return
 		}
-		s.ingestFrames.Add(1)
-		s.ingestBytes.Add(dec.FrameBytes())
+		s.ingestFrames.Inc()
+		s.ingestBytes.Add(uint64(dec.FrameBytes()))
+		s.observeIngest("session", decodeDur, dec.FrameBytes(), len(values))
 		resp.Frames++
 		resp.Accepted += int64(len(values))
 		resp.Kept += int64(kept)
@@ -593,37 +801,12 @@ func (s *server) hurstAggregate() hub.HurstStats {
 	return s.hurstStats
 }
 
-// metrics renders the hub's aggregate stats in the Prometheus text
-// exposition format — counters are cumulative and monotonic, so rate()
-// over sampled_ticks_total gives live ingest throughput.
+// metrics renders the whole exposition from the obs registry —
+// counters are cumulative and monotonic, so rate() over
+// sampled_ticks_total gives live ingest throughput. The registry's
+// scrape hook refreshes the hub stats cache first, so every series in
+// one scrape reads the same Stats() walk.
 func (s *server) metrics(w http.ResponseWriter, r *http.Request) {
-	st := s.hub.Stats()
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
-	fmt.Fprintf(w, "# HELP sampled_streams Live sampling streams.\n# TYPE sampled_streams gauge\nsampled_streams %d\n", st.Streams)
-	fmt.Fprintf(w, "# HELP sampled_streams_created_total Streams ever created.\n# TYPE sampled_streams_created_total counter\nsampled_streams_created_total %d\n", st.Created)
-	fmt.Fprintf(w, "# HELP sampled_streams_evicted_total Streams evicted after the idle TTL.\n# TYPE sampled_streams_evicted_total counter\nsampled_streams_evicted_total %d\n", st.Evicted)
-	fmt.Fprintf(w, "# HELP sampled_ticks_total Ticks ingested across all streams.\n# TYPE sampled_ticks_total counter\nsampled_ticks_total %d\n", st.Ticks)
-	fmt.Fprintf(w, "# HELP sampled_samples_kept_total Samples kept across all streams.\n# TYPE sampled_samples_kept_total counter\nsampled_samples_kept_total %d\n", st.Kept)
-	fmt.Fprintf(w, "# HELP sampled_groups Live comparison groups.\n# TYPE sampled_groups gauge\nsampled_groups %d\n", st.Groups)
-	fmt.Fprintf(w, "# HELP sampled_groups_created_total Comparison groups ever created.\n# TYPE sampled_groups_created_total counter\nsampled_groups_created_total %d\n", st.GroupsCreated)
-	fmt.Fprintf(w, "# HELP sampled_groups_evicted_total Comparison groups evicted after the idle TTL.\n# TYPE sampled_groups_evicted_total counter\nsampled_groups_evicted_total %d\n", st.GroupsEvicted)
-	fmt.Fprintf(w, "# HELP sampled_group_ticks_total Input ticks ingested by comparison groups (each fans out to every member).\n# TYPE sampled_group_ticks_total counter\nsampled_group_ticks_total %d\n", st.GroupTicks)
-	fmt.Fprintf(w, "# HELP sampled_group_samples_kept_total Samples kept across all group members.\n# TYPE sampled_group_samples_kept_total counter\nsampled_group_samples_kept_total %d\n", st.GroupKept)
-	fmt.Fprintf(w, "# HELP sampled_ingest_frames_total Binary tick-batch frames decoded (single-shot POSTs and streaming sessions).\n# TYPE sampled_ingest_frames_total counter\nsampled_ingest_frames_total %d\n", s.ingestFrames.Load())
-	fmt.Fprintf(w, "# HELP sampled_ingest_bytes_total Bytes of binary tick-batch frames decoded.\n# TYPE sampled_ingest_bytes_total counter\nsampled_ingest_bytes_total %d\n", s.ingestBytes.Load())
-	fmt.Fprintf(w, "# HELP sampled_uptime_seconds Seconds since the hub started.\n# TYPE sampled_uptime_seconds gauge\nsampled_uptime_seconds %g\n", st.Uptime.Seconds())
-	fmt.Fprintf(w, "# HELP sampled_ticks_per_second_avg Lifetime average ingest rate.\n# TYPE sampled_ticks_per_second_avg gauge\nsampled_ticks_per_second_avg %g\n", st.TicksPerSec)
-	hs := s.hurstAggregate()
-	fmt.Fprintf(w, "# HELP sampled_hurst_streams_estimating Live streams carrying an online Hurst estimator.\n# TYPE sampled_hurst_streams_estimating gauge\nsampled_hurst_streams_estimating %d\n", hs.Estimating)
-	// The means are NaN until a stream resolves; emit them only once
-	// they carry a number so scrapes stay clean.
-	if hs.InputN > 0 {
-		fmt.Fprintf(w, "# HELP sampled_hurst_input_h_mean Mean pre-sampling Hurst estimate over resolved streams.\n# TYPE sampled_hurst_input_h_mean gauge\nsampled_hurst_input_h_mean %g\n", hs.MeanInputH)
-	}
-	if hs.KeptN > 0 {
-		fmt.Fprintf(w, "# HELP sampled_hurst_kept_h_mean Mean post-sampling Hurst estimate over resolved streams.\n# TYPE sampled_hurst_kept_h_mean gauge\nsampled_hurst_kept_h_mean %g\n", hs.MeanKeptH)
-	}
-	if hs.DriftN > 0 {
-		fmt.Fprintf(w, "# HELP sampled_hurst_drift_mean Mean kept-minus-input Hurst drift over resolved streams.\n# TYPE sampled_hurst_drift_mean gauge\nsampled_hurst_drift_mean %g\n", hs.MeanDrift)
-	}
+	s.reg.WriteText(w)
 }

@@ -12,7 +12,9 @@
 // The traffic is generated once (a base series shared by all streams,
 // phase-rotated per stream so streams do not tick in lockstep) and the
 // ingest phase alone is timed, so the report measures the service, not
-// the generator.
+// the generator. Every offer also lands in a client-side latency
+// histogram, and the report includes per-request p50/p95/p99 for the
+// wire driven; -log-format/-log-level control structured diagnostics.
 //
 // With an online estimator attached (-estimator, default aggvar) every
 // stream also tracks the Hurst parameter of the traffic it ingests and
@@ -43,6 +45,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"log/slog"
 	"math"
 	"net/http"
 	"os"
@@ -55,6 +58,7 @@ import (
 
 	"repro/internal/dist"
 	"repro/internal/lrd"
+	"repro/internal/obs"
 	"repro/internal/traffic"
 	"repro/sampling"
 	"repro/sampling/estimate"
@@ -84,6 +88,19 @@ type loadConfig struct {
 	hurst     float64
 	seed      uint64
 	estimator string // online Hurst estimator method; "" or "off" disables
+
+	// logger carries the run's structured diagnostics (milestones at
+	// debug, failures at warn). nil silences them.
+	logger *slog.Logger
+}
+
+// log returns the config's logger, substituting a discard logger so
+// call sites never nil-check.
+func (c loadConfig) log() *slog.Logger {
+	if c.logger == nil {
+		return slog.New(slog.NewTextHandler(io.Discard, nil))
+	}
+	return c.logger
 }
 
 // wireName resolves the config's wire selection, defaulting to json so
@@ -94,6 +111,15 @@ func (c loadConfig) wireName() string {
 		return "json"
 	}
 	return c.wire
+}
+
+// wireLabel names the transport for the latency report: the HTTP wire,
+// or "direct" for in-process runs where no wire is involved.
+func (c loadConfig) wireLabel() string {
+	if c.direct {
+		return "direct"
+	}
+	return c.wireName()
 }
 
 // checkWire rejects wire selections that cannot work before any stream
@@ -137,7 +163,36 @@ type loadResult struct {
 	ticks   int64
 	kept    int64
 	elapsed time.Duration
-	drift   *driftReport // nil when the run had no estimator
+	drift   *driftReport   // nil when the run had no estimator
+	lat     *obs.Histogram // client-side per-request (per-offer) latency
+}
+
+// latencyBuckets spans 1µs..64s exponentially — wide enough for both
+// in-process offers and HTTP round trips.
+func latencyBuckets() []float64 { return obs.ExpBuckets(1e-6, 2, 26) }
+
+// timedOffer wraps a driver's offer with the client-side latency
+// histogram: one observation per request (or per in-process batch).
+func timedOffer(lat *obs.Histogram, offer func(string, []float64) (int, error)) func(string, []float64) (int, error) {
+	return func(id string, batch []float64) (int, error) {
+		start := time.Now()
+		kept, err := offer(id, batch)
+		lat.Observe(time.Since(start).Seconds())
+		return kept, err
+	}
+}
+
+// latencyLine renders the p50/p95/p99 report for one run's histogram,
+// or "" when nothing was observed.
+func latencyLine(lat *obs.Histogram, wire string) string {
+	if lat == nil || lat.Count() == 0 {
+		return ""
+	}
+	q := func(p float64) time.Duration {
+		return time.Duration(lat.Quantile(p) * float64(time.Second)).Round(time.Microsecond)
+	}
+	return fmt.Sprintf("latency:  p50 %v  p95 %v  p99 %v per request (%s wire, %d requests)",
+		q(0.50), q(0.95), q(0.99), wire, lat.Count())
 }
 
 func (r loadResult) ticksPerSec() float64 {
@@ -166,9 +221,16 @@ func run(args []string, out io.Writer) error {
 	fs.Uint64Var(&cfg.seed, "seed", 1, "traffic generator seed")
 	fs.StringVar(&cfg.estimator, "estimator", "aggvar",
 		"per-stream online Hurst estimator (aggvar, wavelet, rs) or off")
+	logFormat := fs.String("log-format", "text", "diagnostic log format: text or json")
+	logLevel := fs.String("log-level", "warn", "minimum diagnostic log level: debug, info, warn or error (run milestones are debug)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	logger, err := obs.NewLogger(os.Stderr, *logFormat, *logLevel)
+	if err != nil {
+		return err
+	}
+	cfg.logger = logger
 	if err := cfg.checkWire(); err != nil {
 		return err
 	}
@@ -183,6 +245,9 @@ func run(args []string, out io.Writer) error {
 		res.ticks, res.elapsed.Round(time.Millisecond), res.ticksPerSec())
 	fmt.Fprintf(out, "kept:     %d samples (%.3g%% of ticks)\n",
 		res.kept, 100*float64(res.kept)/float64(res.ticks))
+	if line := latencyLine(res.lat, cfg.wireLabel()); line != "" {
+		fmt.Fprintln(out, line)
+	}
 	if dr := res.drift; dr != nil {
 		fmt.Fprintf(out, "hurst:    %s estimator, generated H %.2f\n", dr.method, cfg.hurst)
 		if dr.inputN > 0 {
@@ -649,8 +714,10 @@ func runLoad(cfg loadConfig, out io.Writer) (loadResult, error) {
 			return loadResult{}, fmt.Errorf("creating %s: %w", ids[i], err)
 		}
 	}
+	cfg.log().Debug("streams created", "count", len(ids), "wire", cfg.wireLabel())
 
-	ticks, kept, elapsed, err := hammer(cfg, ids, base, d.offer)
+	lat := obs.NewBareHistogram(latencyBuckets())
+	ticks, kept, elapsed, err := hammer(cfg, ids, base, timedOffer(lat, d.offer))
 	if err != nil {
 		return loadResult{}, err
 	}
@@ -664,6 +731,7 @@ func runLoad(cfg loadConfig, out io.Writer) (loadResult, error) {
 	}
 	kept += dkept
 	elapsed += time.Since(dstart)
+	cfg.log().Debug("ingest done", "ticks", ticks, "kept", kept, "elapsed", elapsed)
 	// Read the Hurst blocks before teardown: Finish removes the streams.
 	var dr *driftReport
 	if method != "" {
@@ -704,7 +772,7 @@ func runLoad(cfg loadConfig, out io.Writer) (loadResult, error) {
 			return loadResult{}, fmt.Errorf("finishing %s: %w", id, err)
 		}
 	}
-	return loadResult{ticks: ticks, kept: kept, elapsed: elapsed, drift: dr}, nil
+	return loadResult{ticks: ticks, kept: kept, elapsed: elapsed, drift: dr, lat: lat}, nil
 }
 
 // newDriver builds the run's target from the config: the in-process
@@ -789,7 +857,9 @@ func runCompare(cfg loadConfig, out io.Writer) error {
 			return fmt.Errorf("creating %s: %w", ids[g], err)
 		}
 	}
-	ticks, kept, elapsed, err := hammer(cfg, ids, base, d.offerGroup)
+	cfg.log().Debug("groups created", "count", len(ids), "techniques", len(specs), "wire", cfg.wireLabel())
+	lat := obs.NewBareHistogram(latencyBuckets())
+	ticks, kept, elapsed, err := hammer(cfg, ids, base, timedOffer(lat, d.offerGroup))
 	if err != nil {
 		return err
 	}
@@ -800,6 +870,7 @@ func runCompare(cfg loadConfig, out io.Writer) error {
 	}
 	kept += dkept
 	elapsed += time.Since(dstart)
+	cfg.log().Debug("ingest done", "ticks", ticks, "kept", kept, "elapsed", elapsed)
 
 	// Fold the per-group fidelity blocks into one row per technique
 	// before teardown: means over the groups where each score resolved.
@@ -849,6 +920,9 @@ func runCompare(cfg loadConfig, out io.Writer) error {
 	fmt.Fprintf(out, "ingest:   %d input ticks in %v -> %.3g ticks/s (x%d fan-out: %.3g engine ticks/s)\n",
 		ticks, elapsed.Round(time.Millisecond), rate, len(specs), rate*float64(len(specs)))
 	fmt.Fprintf(out, "kept:     %d samples across all techniques\n", kept)
+	if line := latencyLine(lat, cfg.wireLabel()); line != "" {
+		fmt.Fprintln(out, line)
+	}
 	cell := func(sum float64, n int) string {
 		if n == 0 {
 			return "n/a"

@@ -28,6 +28,18 @@
 // connection; sampleload selects the encoding with -wire
 // {json,text,binary,session}.
 //
+// Observability for that serving path lives in internal/obs: a
+// stdlib-only metrics registry whose counters, gauges and histograms
+// are single atomic operations (0 allocs/op) with a Prometheus
+// text-exposition writer that renders all of /metrics — the hub's
+// aggregate series, per-route request duration/size/status-class
+// histograms, per-wire ingest decode histograms, build info and
+// runtime health gauges; structured log/slog diagnostics behind
+// -log-format/-log-level; a fixed-size flight-recorder ring of recent
+// requests and errors on GET /debug/events; and opt-in pprof
+// endpoints behind -pprof. sampleload reuses the histogram type for
+// client-side per-request latency percentiles.
+//
 // Engines built with sampling.WithEstimator carry the online
 // long-range-dependence subsystem (sampling/estimate): incremental
 // Hurst estimators — streaming aggregated variance over a dyadic
@@ -57,8 +69,9 @@
 //
 // The invariants the hot path depends on but the compiler cannot see —
 // batch-only ingest, no body slurping on the serving wire, seeded
-// randomness and injected clocks in the sampling core, zero-allocation
-// //samplelint:hotpath functions, null-for-NaN JSON wire structs — are
+// randomness and injected clocks in the sampling core and in
+// internal/obs, zero-allocation //samplelint:hotpath functions,
+// null-for-NaN JSON wire structs — are
 // machine-enforced by the samplelint analyzer suite (internal/lint, run
 // via `go run ./cmd/samplelint ./...`), a hard gate in the CI lint job.
 //

@@ -22,10 +22,24 @@ func Analyzers() []*analysis.Analyzer {
 var Scopes = map[string][]string{
 	"batchoffer": {"repro/sampling/hub", "repro/cmd/sampled", "repro/cmd/sampleload"},
 	"noreadall":  {"repro/sampling/wire", "repro/cmd/sampled"},
-	"detsource":  {samplingPath, "repro/internal/core", "repro/sampling/estimate"},
+	"detsource":  {samplingPath, "repro/internal/core", "repro/sampling/estimate", obsPath},
 	"hotalloc":   nil,
 	"nanwire":    {samplingPath},
 }
+
+// obsPath is the observability package: its instruments sit on the
+// serving hot path (hotalloc-annotated) and must take clocks by
+// injection rather than calling time.Now (detsource), so a test can
+// pin every duration it observes.
+const obsPath = "repro/internal/obs"
+
+// ObsExempt lists importers of internal/obs that are deliberately
+// outside the batch-ingest scope, each with the reason. The meta-test
+// requires every importer of obs to be scoped under batchoffer or
+// exempted here: a package that instruments the serving path is on
+// the serving path, and skipping the ingest invariants there must be
+// an explicit, documented decision.
+var ObsExempt = map[string]string{}
 
 // ReadAllExempt lists packages on the wire that are deliberately
 // outside noreadall's scope, each with the reason — the meta-test

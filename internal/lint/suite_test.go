@@ -100,6 +100,56 @@ func TestScopesCoverIngestGraph(t *testing.T) {
 	}
 }
 
+// TestObsImportersScoped holds the observability package to the same
+// derive-from-the-import-graph discipline: obs itself must sit under
+// detsource (its instruments take injected clocks), and every package
+// that wires obs into a serving path must already be under batchoffer
+// — instrumentation goes where ingest happens — or carry a documented
+// exemption in ObsExempt.
+func TestObsImportersScoped(t *testing.T) {
+	const obsPath = "repro/internal/obs"
+	imports := moduleImports(t)
+	if _, ok := imports[obsPath]; !ok {
+		t.Fatalf("%s holds no non-test Go sources", obsPath)
+	}
+
+	inScope := func(analyzer, pkg string) bool {
+		for _, p := range lint.Scopes[analyzer] {
+			if p == pkg {
+				return true
+			}
+		}
+		return false
+	}
+	if !inScope("detsource", obsPath) {
+		t.Errorf("%s is missing from Scopes[%q] — its clocks must stay injected", obsPath, "detsource")
+	}
+	for pkg, imps := range imports {
+		for _, imp := range imps {
+			if imp != obsPath {
+				continue
+			}
+			if _, exempt := lint.ObsExempt[pkg]; exempt {
+				continue
+			}
+			if !inScope("batchoffer", pkg) {
+				t.Errorf("%s imports %s but is neither under Scopes[%q] nor exempted in ObsExempt — instrumented serving paths keep the ingest invariants", pkg, obsPath, "batchoffer")
+			}
+		}
+	}
+	for pkg := range lint.ObsExempt {
+		uses := false
+		for _, imp := range imports[pkg] {
+			if imp == obsPath {
+				uses = true
+			}
+		}
+		if !uses {
+			t.Errorf("ObsExempt lists %s, which no longer imports %s — stale exemption", pkg, obsPath)
+		}
+	}
+}
+
 // TestScopedPackagesExist is the sawSource guard carried over from
 // hotpath_test.go: every scoped path must hold non-test sources, so a
 // renamed or deleted package fails the gate instead of silently
@@ -121,7 +171,7 @@ func TestScopedPackagesExist(t *testing.T) {
 // statically backs must each carry at least one.
 func TestHotPathAnnotationsPresent(t *testing.T) {
 	root := moduleRoot(t)
-	for _, pkg := range []string{"sampling", "sampling/hub", "sampling/wire", "sampling/estimate", "internal/lrd"} {
+	for _, pkg := range []string{"sampling", "sampling/hub", "sampling/wire", "sampling/estimate", "internal/lrd", "internal/obs"} {
 		dir := filepath.Join(root, filepath.FromSlash(pkg))
 		found := false
 		entries, err := os.ReadDir(dir)

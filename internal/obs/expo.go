@@ -1,0 +1,168 @@
+package obs
+
+import (
+	"io"
+	"math"
+	"strconv"
+)
+
+// WriteText renders every registered family in the Prometheus text
+// exposition format (version 0.0.4): families sorted by name, each as
+// a HELP line, a TYPE line, then its series — histogram children as
+// cumulative le-labeled buckets ending in le="+Inf", plus _sum and
+// _count. Scrapes are serialized; OnScrape hooks run first.
+func (r *Registry) WriteText(w io.Writer) (int, error) {
+	r.scrapeMu.Lock()
+	defer r.scrapeMu.Unlock()
+	r.mu.Lock()
+	hooks := append([]func(){}, r.hooks...)
+	r.mu.Unlock()
+	for _, f := range hooks {
+		f()
+	}
+	b := make([]byte, 0, 4096)
+	for _, fam := range r.sortedFamilies() {
+		b = fam.appendText(b)
+	}
+	return w.Write(b)
+}
+
+func (f *family) appendText(b []byte) []byte {
+	b = append(b, "# HELP "...)
+	b = append(b, f.name...)
+	b = append(b, ' ')
+	b = appendEscapedHelp(b, f.help)
+	b = append(b, "\n# TYPE "...)
+	b = append(b, f.name...)
+	b = append(b, ' ')
+	b = append(b, f.typ...)
+	b = append(b, '\n')
+	for _, c := range f.snapshotChildren() {
+		switch {
+		case c.hist != nil:
+			b = f.appendHistogram(b, c)
+		case c.fn != nil:
+			b = f.appendSeries(b, c, "", "", "")
+			b = appendValue(b, c.fn())
+			b = append(b, '\n')
+		case c.counter != nil:
+			b = f.appendSeries(b, c, "", "", "")
+			b = strconv.AppendUint(b, c.counter.Value(), 10)
+			b = append(b, '\n')
+		case c.gauge != nil:
+			b = f.appendSeries(b, c, "", "", "")
+			b = appendValue(b, c.gauge.Value())
+			b = append(b, '\n')
+		}
+	}
+	return b
+}
+
+func (f *family) appendHistogram(b []byte, c *child) []byte {
+	cum, total, sum := c.hist.snapshot()
+	for i, bound := range c.hist.bounds {
+		b = f.appendSeries(b, c, "_bucket", "le", formatBound(bound))
+		b = strconv.AppendUint(b, cum[i], 10)
+		b = append(b, '\n')
+	}
+	b = f.appendSeries(b, c, "_bucket", "le", "+Inf")
+	b = strconv.AppendUint(b, total, 10)
+	b = append(b, '\n')
+	b = f.appendSeries(b, c, "_sum", "", "")
+	b = appendValue(b, sum)
+	b = append(b, '\n')
+	b = f.appendSeries(b, c, "_count", "", "")
+	b = strconv.AppendUint(b, total, 10)
+	b = append(b, '\n')
+	return b
+}
+
+// appendSeries writes `name{label="value",...} ` (with the trailing
+// space, value appended by the caller), including the extra label —
+// the histogram's le — when given.
+func (f *family) appendSeries(b []byte, c *child, suffix, extraLabel, extraValue string) []byte {
+	b = append(b, f.name...)
+	b = append(b, suffix...)
+	if len(f.labels) > 0 || extraLabel != "" {
+		b = append(b, '{')
+		for i, l := range f.labels {
+			if i > 0 {
+				b = append(b, ',')
+			}
+			b = append(b, l...)
+			b = append(b, '=', '"')
+			b = appendEscapedLabel(b, c.labelValues[i])
+			b = append(b, '"')
+		}
+		if extraLabel != "" {
+			if len(f.labels) > 0 {
+				b = append(b, ',')
+			}
+			b = append(b, extraLabel...)
+			b = append(b, '=', '"')
+			b = append(b, extraValue...)
+			b = append(b, '"')
+		}
+		b = append(b, '}')
+	}
+	return append(b, ' ')
+}
+
+// appendValue formats a sample value: NaN/±Inf spelled out, integral
+// values in plain decimal (matching the %d the hand-rolled exposition
+// used, so a counter never flips to scientific notation), everything
+// else in shortest-round-trip form.
+func appendValue(b []byte, v float64) []byte {
+	switch {
+	case math.IsNaN(v):
+		return append(b, "NaN"...)
+	case math.IsInf(v, 1):
+		return append(b, "+Inf"...)
+	case math.IsInf(v, -1):
+		return append(b, "-Inf"...)
+	case v == math.Trunc(v) && math.Abs(v) < 1e15:
+		return strconv.AppendFloat(b, v, 'f', -1, 64)
+	default:
+		return strconv.AppendFloat(b, v, 'g', -1, 64)
+	}
+}
+
+// formatBound renders a bucket upper bound for the le label.
+func formatBound(v float64) string {
+	if v == math.Trunc(v) && math.Abs(v) < 1e15 {
+		return strconv.FormatFloat(v, 'f', -1, 64)
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// appendEscapedHelp escapes a HELP string: backslash and newline.
+func appendEscapedHelp(b []byte, s string) []byte {
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '\\':
+			b = append(b, '\\', '\\')
+		case '\n':
+			b = append(b, '\\', 'n')
+		default:
+			b = append(b, s[i])
+		}
+	}
+	return b
+}
+
+// appendEscapedLabel escapes a label value: backslash, quote, newline.
+func appendEscapedLabel(b []byte, s string) []byte {
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '\\':
+			b = append(b, '\\', '\\')
+		case '"':
+			b = append(b, '\\', '"')
+		case '\n':
+			b = append(b, '\\', 'n')
+		default:
+			b = append(b, s[i])
+		}
+	}
+	return b
+}

@@ -1,0 +1,165 @@
+package obs
+
+import (
+	"log/slog"
+	"net/http"
+	"time"
+)
+
+// HTTPObserver instruments a mux's routes: a per-route request
+// duration histogram, a per-route request size histogram, a
+// route×status-class counter, a flight-recorder event per request and
+// a request-scoped slog line. Children are pre-registered for every
+// route at construction, so the per-request path is map lookups and
+// atomic observes — no label formatting.
+//
+// Wrap is applied per handler at mux registration time (not as an
+// outer middleware) so the route label is the static pattern and
+// r.PathValue is live inside the observation.
+type HTTPObserver struct {
+	clock    func() time.Time
+	logger   *slog.Logger
+	recorder *Recorder
+	routes   map[string]*routeInstruments
+}
+
+// routeInstruments is one route's pre-registered children.
+type routeInstruments struct {
+	dur     *Histogram
+	size    *Histogram
+	classes [6]*Counter // by status/100: classes[2] is 2xx; 0 and 1 unused
+}
+
+// statusClasses are the pre-registered status-class label values.
+var statusClasses = [6]string{"", "1xx", "2xx", "3xx", "4xx", "5xx"}
+
+// NewHTTPObserver registers the HTTP families under prefix (e.g.
+// "sampled" gives sampled_http_request_duration_seconds) and
+// pre-registers children for every given route label. recorder and
+// logger are optional; the clock defaults to time.Now and is
+// overridable with SetClock for tests.
+func NewHTTPObserver(reg *Registry, prefix string, routes []string, rec *Recorder, logger *slog.Logger) *HTTPObserver {
+	dur := reg.NewHistogramVec(prefix+"_http_request_duration_seconds",
+		"Request wall time by route, from first byte read to handler return.",
+		DurationBuckets(), "route")
+	size := reg.NewHistogramVec(prefix+"_http_request_bytes",
+		"Declared request body size by route (requests with unknown length are not observed).",
+		ExpBuckets(64, 4, 10), "route")
+	reqs := reg.NewCounterVec(prefix+"_http_requests_total",
+		"Requests served, by route and status class.", "route", "class")
+	o := &HTTPObserver{
+		clock:    time.Now,
+		logger:   logger,
+		recorder: rec,
+		routes:   make(map[string]*routeInstruments, len(routes)),
+	}
+	for _, route := range routes {
+		ri := &routeInstruments{dur: dur.With(route), size: size.With(route)}
+		for class := 1; class < len(ri.classes); class++ {
+			ri.classes[class] = reqs.With(route, statusClasses[class])
+		}
+		o.routes[route] = ri
+	}
+	return o
+}
+
+// SetClock overrides the observer's clock (tests pin durations with
+// it).
+func (o *HTTPObserver) SetClock(fn func() time.Time) { o.clock = fn }
+
+// Wrap instruments one handler under the given route label, which
+// must be one of the routes the observer was built with.
+func (o *HTTPObserver) Wrap(route string, next http.Handler) http.Handler {
+	ri, ok := o.routes[route]
+	if !ok {
+		panic("obs: route " + route + " was not pre-registered with NewHTTPObserver")
+	}
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := o.clock()
+		sw := &statusWriter{ResponseWriter: w}
+		next.ServeHTTP(sw, r)
+		dur := o.clock().Sub(start)
+		ri.dur.Observe(dur.Seconds())
+		if r.ContentLength >= 0 {
+			ri.size.Observe(float64(r.ContentLength))
+		}
+		status := sw.statusCode()
+		if class := status / 100; class >= 1 && class < len(ri.classes) {
+			ri.classes[class].Inc()
+		}
+		id := r.PathValue("id")
+		if o.recorder != nil {
+			kind := "request"
+			if status >= 400 {
+				kind = "error"
+			}
+			o.recorder.Record(Event{
+				At: start, Kind: kind, Route: route, ID: id,
+				Status: status, Dur: dur, Detail: sw.detail(),
+			})
+		}
+		if o.logger != nil {
+			level := slog.LevelDebug
+			switch {
+			case status >= 500:
+				level = slog.LevelError
+			case status >= 400:
+				level = slog.LevelWarn
+			}
+			o.logger.Log(r.Context(), level, "http",
+				"route", route, "id", id, "status", status,
+				"dur", dur, "bytes", sw.written)
+		}
+	})
+}
+
+// statusWriter captures the response status and size, and keeps the
+// first bytes of an error body as flight-recorder detail.
+type statusWriter struct {
+	http.ResponseWriter
+	code    int
+	written int64
+	errBody []byte
+}
+
+const errDetailCap = 200
+
+func (w *statusWriter) WriteHeader(code int) {
+	if w.code == 0 {
+		w.code = code
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(p []byte) (int, error) {
+	if w.code == 0 {
+		w.code = http.StatusOK
+	}
+	if w.code >= 400 && len(w.errBody) < errDetailCap {
+		take := errDetailCap - len(w.errBody)
+		if take > len(p) {
+			take = len(p)
+		}
+		w.errBody = append(w.errBody, p[:take]...)
+	}
+	n, err := w.ResponseWriter.Write(p)
+	w.written += int64(n)
+	return n, err
+}
+
+// Flush forwards to the underlying writer so streaming responses (the
+// session wire's long-lived POSTs) keep working under instrumentation.
+func (w *statusWriter) Flush() {
+	if f, ok := w.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+func (w *statusWriter) statusCode() int {
+	if w.code == 0 {
+		return http.StatusOK
+	}
+	return w.code
+}
+
+func (w *statusWriter) detail() string { return string(w.errBody) }

@@ -1,0 +1,84 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"log/slog"
+	"runtime"
+	"runtime/debug"
+	"strings"
+)
+
+// NewLogger builds a slog.Logger writing to w in the given format
+// ("text" or "json") at the given minimum level ("debug", "info",
+// "warn" or "error") — the backing for the daemons' -log-format and
+// -log-level flags.
+func NewLogger(w io.Writer, format, level string) (*slog.Logger, error) {
+	lv, err := ParseLevel(level)
+	if err != nil {
+		return nil, err
+	}
+	opts := &slog.HandlerOptions{Level: lv}
+	switch strings.ToLower(format) {
+	case "text", "":
+		return slog.New(slog.NewTextHandler(w, opts)), nil
+	case "json":
+		return slog.New(slog.NewJSONHandler(w, opts)), nil
+	default:
+		return nil, fmt.Errorf("unknown log format %q (text or json)", format)
+	}
+}
+
+// ParseLevel maps a level name onto its slog.Level.
+func ParseLevel(s string) (slog.Level, error) {
+	switch strings.ToLower(s) {
+	case "debug":
+		return slog.LevelDebug, nil
+	case "info", "":
+		return slog.LevelInfo, nil
+	case "warn", "warning":
+		return slog.LevelWarn, nil
+	case "error":
+		return slog.LevelError, nil
+	default:
+		return 0, fmt.Errorf("unknown log level %q (debug, info, warn or error)", s)
+	}
+}
+
+// BuildInfo reports the binary's version — the module version when
+// stamped, otherwise the VCS revision, otherwise "unknown" — and the
+// Go toolchain that built it, from runtime/debug.ReadBuildInfo. The
+// values feed the -version flag and the *_build_info metric.
+func BuildInfo() (version, goVersion string) {
+	version, goVersion = "unknown", runtime.Version()
+	bi, ok := debug.ReadBuildInfo()
+	if !ok {
+		return version, goVersion
+	}
+	if bi.GoVersion != "" {
+		goVersion = bi.GoVersion
+	}
+	if v := bi.Main.Version; v != "" && v != "(devel)" {
+		version = v
+	}
+	var rev string
+	var dirty bool
+	for _, s := range bi.Settings {
+		switch s.Key {
+		case "vcs.revision":
+			rev = s.Value
+		case "vcs.modified":
+			dirty = s.Value == "true"
+		}
+	}
+	if version == "unknown" && rev != "" {
+		if len(rev) > 12 {
+			rev = rev[:12]
+		}
+		version = rev
+		if dirty {
+			version += "-dirty"
+		}
+	}
+	return version, goVersion
+}

@@ -1,0 +1,64 @@
+package obs
+
+import (
+	"math"
+	"runtime/metrics"
+)
+
+// RegisterRuntime registers process-health series derived from
+// runtime/metrics under the given prefix:
+//
+//	<prefix>_goroutines              gauge    live goroutines
+//	<prefix>_heap_objects_bytes     gauge    bytes of live heap objects
+//	<prefix>_gc_pause_seconds_total counter  cumulative GC stop-the-world pause
+//
+// The samples are read once per scrape via an OnScrape hook; the GC
+// pause total is reconstructed from the runtime's pause histogram by
+// bucket-midpoint sum, so it is an estimate (runtime/metrics exposes
+// no exact scalar), monotone because the bucket counts only grow.
+func RegisterRuntime(r *Registry, prefix string) {
+	goroutines := r.NewGauge(prefix+"_goroutines", "Live goroutines.")
+	heap := r.NewGauge(prefix+"_heap_objects_bytes", "Bytes of live heap objects.")
+	var gcPause float64
+	r.NewCounterFunc(prefix+"_gc_pause_seconds_total",
+		"Cumulative GC stop-the-world pause seconds (bucket-midpoint estimate from the runtime pause histogram).",
+		func() float64 { return gcPause })
+	samples := []metrics.Sample{
+		{Name: "/sched/goroutines:goroutines"},
+		{Name: "/memory/classes/heap/objects:bytes"},
+		{Name: "/gc/pauses:seconds"},
+	}
+	r.OnScrape(func() {
+		metrics.Read(samples)
+		if samples[0].Value.Kind() == metrics.KindUint64 {
+			goroutines.Set(float64(samples[0].Value.Uint64()))
+		}
+		if samples[1].Value.Kind() == metrics.KindUint64 {
+			heap.Set(float64(samples[1].Value.Uint64()))
+		}
+		if samples[2].Value.Kind() == metrics.KindFloat64Histogram {
+			gcPause = histogramMidpointSum(samples[2].Value.Float64Histogram())
+		}
+	})
+}
+
+// histogramMidpointSum estimates the value total of a runtime
+// Float64Histogram as the count-weighted sum of bucket midpoints,
+// substituting the finite edge for a ±Inf boundary.
+func histogramMidpointSum(h *metrics.Float64Histogram) float64 {
+	var total float64
+	for i, n := range h.Counts {
+		if n == 0 {
+			continue
+		}
+		lo, hi := h.Buckets[i], h.Buckets[i+1]
+		if math.IsInf(lo, -1) {
+			lo = hi
+		}
+		if math.IsInf(hi, 1) {
+			hi = lo
+		}
+		total += float64(n) * (lo + hi) / 2
+	}
+	return total
+}

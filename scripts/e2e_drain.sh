@@ -28,11 +28,15 @@ trap cleanup EXIT
 go build -o "$workdir/sampled" ./cmd/sampled
 go build -o "$workdir/sampleload" ./cmd/sampleload
 
+# -version must print the build and exit without binding the port.
+"$workdir/sampled" -version | grep -q '^sampled '
+
 # -hurst-metrics-every 0 recomputes the sampled_hurst_* aggregate on
 # every scrape: this script scrapes /metrics several times and asserts
 # gauge values between scrapes, so the default 10s cache would serve
-# stale readings.
-"$workdir/sampled" -addr "127.0.0.1:${PORT}" -hurst-metrics-every 0 &
+# stale readings. -pprof opts the profiling endpoints in so the script
+# can exercise them.
+"$workdir/sampled" -addr "127.0.0.1:${PORT}" -hurst-metrics-every 0 -pprof &
 daemon_pid=$!
 
 # Wait for the listener (up to ~5s).
@@ -68,6 +72,31 @@ if [ -z "$bytes" ] || [ "$bytes" -le 0 ]; then
     exit 1
 fi
 
+# The obs subsystem: the registry-rendered exposition must carry the
+# per-route duration histogram for the ingest route, the per-wire
+# decode histogram for the sessions just driven, and the build-info
+# gauge.
+echo "$metrics" | grep -qF 'sampled_http_request_duration_seconds_bucket{route="POST /v1/streams/{id}/ticks",le="+Inf"}'
+echo "$metrics" | grep -qF 'sampled_ingest_decode_seconds_bucket{wire="session",le="+Inf"}'
+echo "$metrics" | grep -qF 'sampled_build_info{version="'
+echo "$metrics" | grep -q '^sampled_goroutines '
+
+# The flight recorder has seen the load run's requests. (Capture the
+# body before grepping: with pipefail, grep -q quitting at the first
+# match would hand curl an EPIPE on any body larger than the pipe
+# buffer — and the event ring and the histogram-laden /metrics both
+# are.)
+events="$(curl -sf "$BASE/debug/events")"
+echo "$events" | grep -q '"kind":"request"'
+
+# The opted-in profiling surface: a 1s CPU profile must come back
+# non-empty.
+curl -sf -o "$workdir/profile.pb" "$BASE/debug/pprof/profile?seconds=1"
+if [ ! -s "$workdir/profile.pb" ]; then
+    echo "e2e: /debug/pprof/profile returned an empty profile" >&2
+    exit 1
+fi
+
 # The load tool finishes its streams; create one more so shutdown drains
 # a daemon with live state, and check the hurst document on the way.
 curl -sf -X PUT "$BASE/v1/streams/drain-check" \
@@ -75,7 +104,8 @@ curl -sf -X PUT "$BASE/v1/streams/drain-check" \
     -d '{"spec": "systematic:interval=50", "estimator": "aggvar"}' > /dev/null
 seq 1 5000 | tr '\n' ' ' | curl -sf -X POST "$BASE/v1/streams/drain-check/ticks" --data-binary @- > /dev/null
 curl -sf "$BASE/v1/streams/drain-check/hurst" | grep -q '"method":"aggvar"'
-curl -sf "$BASE/metrics" | grep -q '^sampled_hurst_streams_estimating 1$'
+metrics="$(curl -sf "$BASE/metrics")"
+echo "$metrics" | grep -q '^sampled_hurst_streams_estimating 1$'
 
 # The v2 surface: one comparison group over all five techniques on the
 # same ticks, its comparison snapshot carrying every member plus the
@@ -92,8 +122,9 @@ echo "$comparison" | grep -q '"seen":5000'
 echo "$comparison" | grep -q '"technique":"bss"'
 echo "$comparison" | grep -q '"kept_ratio":'
 echo "$comparison" | grep -q '"mean_bias":'
-curl -sf "$BASE/metrics" | grep -q '^sampled_groups 1$'
-curl -sf "$BASE/metrics" | grep -q '^sampled_group_ticks_total 5000$'
+metrics="$(curl -sf "$BASE/metrics")"
+echo "$metrics" | grep -q '^sampled_groups 1$'
+echo "$metrics" | grep -q '^sampled_group_ticks_total 5000$'
 curl -sf "$BASE/v1/groups" | grep -q '"groups":\["compare-check"\]'
 
 # Graceful shutdown: SIGTERM must drain and exit 0.
