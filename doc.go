@@ -75,6 +75,9 @@
 // machine-enforced by the samplelint analyzer suite (internal/lint, run
 // via `go run ./cmd/samplelint ./...`), a hard gate in the CI lint job.
 //
-// See README.md for a tour, DESIGN.md for the system inventory and
-// EXPERIMENTS.md for paper-vs-measured results.
+// See README.md for a tour (including the skip-based batch kernels
+// behind OfferBatch and their before/after numbers) and
+// ARCHITECTURE.md for the map: paper concepts to packages, the layer
+// diagram, and the life of one binary tick batch from sampleload
+// through the daemon to a /v1/groups comparison snapshot.
 package repro

@@ -148,8 +148,10 @@ func NewSimpleRandomRate(rate float64, rng *rand.Rand) (SimpleRandom, error) {
 // Name implements Sampler.
 func (s SimpleRandom) Name() string { return "simple-random" }
 
-// Stream implements Streamer. The streaming form buffers the series and
-// draws at Finish — a draw without replacement needs the population.
+// Stream implements Streamer. The fixed-size form (N > 0) runs a
+// skip-based reservoir in O(N) memory; the population-relative form
+// buffers the raw values and draws at Finish — a rate-sized draw
+// without replacement needs the whole population.
 func (s SimpleRandom) Stream() (StreamSampler, error) {
 	if err := s.validate(); err != nil {
 		return nil, err
@@ -202,7 +204,7 @@ func (s Bernoulli) Stream() (StreamSampler, error) {
 	if err := s.validate(); err != nil {
 		return nil, err
 	}
-	return &streamBernoulli{rate: s.Rate, rng: s.Rng}, nil
+	return newStreamBernoulli(s.Rate, s.Rng), nil
 }
 
 // Sample implements Sampler.

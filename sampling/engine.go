@@ -29,6 +29,8 @@ type Engine struct {
 	spec       Spec
 	specString string
 	impl       core.StreamSampler
+	batch      core.BatchStreamer // impl's skip-based batch fast path; nil when it has none
+	bbuf       []Sample           // per-batch scratch reused across OfferBatch calls
 	clock      func() time.Time
 	start      time.Time
 	budget     int
@@ -81,6 +83,10 @@ func New(spec Spec, opts ...Option) (*Engine, error) {
 		start:      now,
 		budget:     cfg.budget,
 	}
+	// Techniques with a skip-based batch kernel are dispatched to it by
+	// OfferBatch; the two forms are state-machine equivalent, so the
+	// choice is invisible to callers.
+	e.batch, _ = impl.(core.BatchStreamer)
 	if cfg.estimator != "" {
 		// Already validated by WithEstimator; the two instances keep the
 		// input and kept-sample streams strictly separate.
@@ -127,11 +133,19 @@ func (e *Engine) Offer(value float64) (Sample, bool) {
 
 // OfferBatch presents a batch of ticks in stream order and returns how
 // many samples the batch finalized. It is the ingest hot path: the
-// engine mutex is acquired once for the whole batch and both the
-// technique and any attached estimators are fed in a tight loop, where
-// Offer would pay one lock acquisition per tick. The batch is atomic
-// with respect to Finish and Snapshot — an observer sees either none or
-// all of it. After Finish, OfferBatch is a no-op returning 0.
+// engine mutex is acquired once for the whole batch and, when the
+// technique implements core.BatchStreamer, the whole batch is handed to
+// its skip-based kernel in one call — the kernel jumps from kept tick
+// to kept tick, so the per-tick cost is gone entirely for systematic,
+// stratified, Bernoulli and simple random sampling. Techniques without
+// a batch kernel (BSS) fall back to the per-tick loop under the same
+// single lock acquisition. Both paths are state-machine equivalent:
+// batches of any shape produce exactly the samples the per-tick Offer
+// form would (asserted in TestOfferBatchMatchesOffer).
+//
+// The batch is atomic with respect to Finish and Snapshot — an
+// observer sees either none or all of it. After Finish, OfferBatch is
+// a no-op returning 0.
 //
 //samplelint:hotpath
 func (e *Engine) OfferBatch(values []float64) (kept int) {
@@ -140,10 +154,31 @@ func (e *Engine) OfferBatch(values []float64) (kept int) {
 	if e.finished {
 		return 0
 	}
-	for _, v := range values {
-		if _, ok := e.offerOne(v); ok {
-			kept++
+	if e.batch == nil {
+		for _, v := range values {
+			if _, ok := e.offerOne(v); ok {
+				kept++
+			}
 		}
+		return kept
+	}
+	// Fast path. The input-side estimator still consumes every tick —
+	// it estimates the unsampled process — but its Tick is O(1) and
+	// allocation-free, so the loop stays cheap; the technique itself
+	// sees the batch once.
+	if e.estIn != nil {
+		for _, v := range values {
+			e.estIn.Tick(v)
+		}
+	}
+	e.bbuf = e.batch.OfferBatch(e.seen, values, e.bbuf[:0])
+	e.seen += len(values)
+	for _, s := range e.bbuf {
+		if e.budget > 0 && e.kept >= e.budget {
+			break
+		}
+		e.record(s)
+		kept++
 	}
 	return kept
 }

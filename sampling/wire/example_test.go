@@ -1,0 +1,54 @@
+package wire_test
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+
+	"repro/sampling/wire"
+)
+
+// AppendFrame renders one self-delimiting tick-batch frame; frames
+// concatenate, so one body (or one long-lived session request) can
+// carry any number of them back to back.
+func ExampleAppendFrame() {
+	var body []byte
+	body, err := wire.AppendFrame(body, "link0", []float64{12.5, 980.1, 3.2})
+	if err != nil {
+		panic(err)
+	}
+	body, err = wire.AppendFrame(body, "link1", []float64{7, 8})
+	if err != nil {
+		panic(err)
+	}
+	// 10-byte header + id + 8 bytes per tick + 4-byte CRC, per frame.
+	fmt.Printf("2 frames in %d bytes, content type %s\n", len(body), wire.ContentType)
+	// Output:
+	// 2 frames in 78 bytes, content type application/x-tickbatch
+}
+
+// A Decoder reads frames back in order until io.EOF, verifying magic,
+// version and CRC and screening ticks for NaN/Inf. The returned tick
+// slice aliases an internal buffer valid until the next ReadFrame —
+// hand it straight to OfferBatch, don't retain it.
+func ExampleDecoder() {
+	var body []byte
+	body, _ = wire.AppendFrame(body, "link0", []float64{12.5, 980.1, 3.2})
+	body, _ = wire.AppendFrame(body, "link1", []float64{7, 8})
+
+	dec := wire.NewDecoder(bytes.NewReader(body), 0) // 0: default tick cap
+	for {
+		id, ticks, err := dec.ReadFrame()
+		if errors.Is(err, io.EOF) {
+			break
+		}
+		if err != nil {
+			panic(err)
+		}
+		fmt.Printf("%s: %d ticks, first %g\n", id, len(ticks), ticks[0])
+	}
+	// Output:
+	// link0: 3 ticks, first 12.5
+	// link1: 2 ticks, first 7
+}

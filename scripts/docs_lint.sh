@@ -1,0 +1,83 @@
+#!/usr/bin/env bash
+# docs_lint.sh — keep the prose honest.
+#
+# Two checks over the repo's markdown:
+#
+#   1. Every fenced ```go block in README.md and ARCHITECTURE.md must
+#      parse. Full files (starting with "package") are fed to gofmt
+#      as-is; fragments get their import lines hoisted and the rest
+#      wrapped in a throwaway func body, so expression- and
+#      statement-level snippets are checked without having to compile
+#      (undefined identifiers are fine, syntax errors are not).
+#
+#   2. Every `go run ./cmd/NAME ... -flag` line in a fenced sh/text
+#      block must name flags the command actually registers — the drift
+#      that creeps in when a flag is renamed but the README keeps the
+#      old spelling.
+#
+# Run from the repo root: ./scripts/docs_lint.sh
+set -euo pipefail
+
+cd "$(dirname "$0")/.." || exit 1
+
+docs=(README.md ARCHITECTURE.md)
+fail=0
+tmp=$(mktemp -d)
+trap 'rm -rf "$tmp"' EXIT
+
+# --- 1. go snippets must parse -------------------------------------------
+
+extract_go_blocks() { # file -> writes numbered snippet files into $tmp
+	awk -v out="$tmp/$(basename "$1")" '
+		/^```go$/   { in_block = 1; n++; snippet = out "." n ".go"; next }
+		/^```/      { in_block = 0; next }
+		in_block    { print > snippet }
+	' "$1"
+}
+
+for doc in "${docs[@]}"; do
+	extract_go_blocks "$doc"
+done
+
+shopt -s nullglob
+for snippet in "$tmp"/*.go; do
+	if head -1 "$snippet" | grep -q '^package '; then
+		candidate="$snippet"
+	else
+		# Hoist imports, wrap the rest so statements/expressions parse.
+		candidate="$snippet.wrapped"
+		{
+			echo 'package snippet'
+			grep -E '^import ' "$snippet" || true
+			echo 'func _() {'
+			grep -Ev '^import ' "$snippet"
+			echo '}'
+		} >"$candidate"
+	fi
+	if ! err=$(gofmt -e "$candidate" 2>&1 >/dev/null); then
+		echo "docs_lint: go snippet does not parse: ${snippet#"$tmp"/}"
+		echo "$err" | sed 's/^/  /'
+		fail=1
+	fi
+done
+
+# --- 2. README flags must exist in the named command ---------------------
+
+# Lines like `go run ./cmd/sampled -addr :8080 -ttl 10m` — each -flag
+# must appear as a registration ("flagname" string literal) in cmd/NAME.
+while read -r line; do
+	cmd=$(sed -E 's|.*go run \./cmd/([a-z]+).*|\1|' <<<"$line")
+	[ -d "cmd/$cmd" ] || continue
+	# Strip flag values so "-d '{...}'" payloads are not mistaken for flags.
+	for flag in $(grep -oE ' -[a-zA-Z][a-zA-Z-]*' <<<"$line" | sed 's/^ -//' | sort -u); do
+		if ! grep -qr "\"$flag\"" "cmd/$cmd"/*.go; then
+			echo "docs_lint: flag -$flag not registered by cmd/$cmd (line: $line)"
+			fail=1
+		fi
+	done
+done < <(grep -h 'go run \./cmd/' "${docs[@]}" | grep ' -' | grep -v '^//')
+
+if [ "$fail" -ne 0 ]; then
+	exit 1
+fi
+echo "docs_lint: ${docs[*]} clean"
