@@ -29,6 +29,32 @@
 //	DELETE /v1/groups/{id}            finish: final comparison + per-member end-of-stream samples
 //	GET    /v1/groups                 live group ids
 //
+// The durability surface (v3): every stream and group is exportable as
+// an exact engine-state blob, and the daemon can checkpoint and
+// restore its entire hub:
+//
+//	GET    /healthz                   liveness: the process is up (always 200)
+//	GET    /readyz                    readiness: 503 until the boot restore completes and again while draining
+//	GET    /v1/streams/{id}/state     export the exact engine state (opaque binary, non-destructive)
+//	PUT    /v1/streams/{id}/state     install an exported blob as a new stream (handoff receive)
+//	DELETE /v1/streams/{id}/state     detach: export the state and remove the stream WITHOUT finalizing it
+//	GET/PUT/DELETE /v1/groups/{id}/state   the same resource for comparison groups
+//
+// With -checkpoint-dir the hub restores itself from <dir>/hub.ckpt on
+// boot (readyz is 503 until done), checkpoints every
+// -checkpoint-interval off the hot path, checkpoints once more after
+// the shutdown drain, and archives each idle stream's final state
+// under <dir>/evicted/ as it is swept. A restart therefore resumes
+// with byte-identical engine state: restored streams keep producing
+// exactly the kept-sample sequence a never-stopped engine would.
+//
+// With -route "host:port,host:port,..." the daemon is a cluster
+// router instead: a stateless consistent-hash proxy over N sampled
+// backends (all four ingest wires forward, persistent sessions demux
+// per frame onto per-backend sessions), with /healthz-driven member
+// ejection and checkpoint-transfer rebalancing when membership
+// changes; see router.go.
+//
 // The binary wire (sampling/wire) is the line-rate ingest path: frames
 // decode straight into pooled []float64 batches with no per-tick
 // parsing, and the session mode pays connection and routing costs once
@@ -60,10 +86,13 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"log/slog"
 	"net"
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
+	"sync/atomic"
 	"syscall"
 	"time"
 
@@ -87,18 +116,22 @@ func main() {
 func run(ctx context.Context, args []string, ready chan<- net.Addr) error {
 	fs := flag.NewFlagSet("sampled", flag.ContinueOnError)
 	var (
-		addr       = fs.String("addr", ":8080", "listen address")
-		shards     = fs.Int("shards", 64, "hub lock stripes (rounded up to a power of two)")
-		ttl        = fs.Duration("ttl", 0, "evict streams idle for longer than this (0 = never)")
-		sweep      = fs.Duration("sweep-every", time.Minute, "idle-eviction sweep period (with -ttl)")
-		maxBody    = fs.Int64("max-body", 32<<20, "request body cap in bytes")
-		drain      = fs.Duration("drain", 10*time.Second, "graceful-shutdown drain timeout")
-		hurstEvery = fs.Duration("hurst-metrics-every", 10*time.Second, "refresh period of the O(streams) sampled_hurst_* aggregate on /metrics (0 = every scrape)")
-		logFormat  = fs.String("log-format", "text", "log output format: text or json")
-		logLevel   = fs.String("log-level", "info", "minimum log level: debug, info, warn or error (request logs are debug; 4xx/5xx are warn/error)")
-		pprofOn    = fs.Bool("pprof", false, "serve runtime profiles on /debug/pprof/")
-		events     = fs.Int("events", 256, "flight-recorder ring size behind /debug/events")
-		version    = fs.Bool("version", false, "print the build version and exit")
+		addr        = fs.String("addr", ":8080", "listen address")
+		shards      = fs.Int("shards", 64, "hub lock stripes (rounded up to a power of two)")
+		ttl         = fs.Duration("ttl", 0, "evict streams idle for longer than this (0 = never)")
+		sweep       = fs.Duration("sweep-every", time.Minute, "idle-eviction sweep period (with -ttl)")
+		maxBody     = fs.Int64("max-body", 32<<20, "request body cap in bytes")
+		drain       = fs.Duration("drain", 10*time.Second, "graceful-shutdown drain timeout")
+		hurstEvery  = fs.Duration("hurst-metrics-every", 10*time.Second, "refresh period of the O(streams) sampled_hurst_* aggregate on /metrics (0 = every scrape)")
+		ckptDir     = fs.String("checkpoint-dir", "", "durable-state directory: restore the hub from it on boot, checkpoint into it periodically and on shutdown (empty = no durability)")
+		ckptEvery   = fs.Duration("checkpoint-interval", 30*time.Second, "period between checkpoints (with -checkpoint-dir)")
+		route       = fs.String("route", "", "comma-separated backend addresses: serve as a cluster router over them instead of hosting streams locally")
+		healthEvery = fs.Duration("health-interval", 2*time.Second, "backend health-probe period (with -route)")
+		logFormat   = fs.String("log-format", "text", "log output format: text or json")
+		logLevel    = fs.String("log-level", "info", "minimum log level: debug, info, warn or error (request logs are debug; 4xx/5xx are warn/error)")
+		pprofOn     = fs.Bool("pprof", false, "serve runtime profiles on /debug/pprof/")
+		events      = fs.Int("events", 256, "flight-recorder ring size behind /debug/events")
+		version     = fs.Bool("version", false, "print the build version and exit")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -112,17 +145,67 @@ func run(ctx context.Context, args []string, ready chan<- net.Addr) error {
 	if err != nil {
 		return err
 	}
-	h := hub.New(hub.WithShards(*shards), hub.WithIdleTTL(*ttl))
+
+	if *route != "" {
+		return runRouter(ctx, *addr, *route, *maxBody, *healthEvery, *drain, logger, ready)
+	}
+
+	var hubOpts []hub.Option
+	hubOpts = append(hubOpts, hub.WithShards(*shards), hub.WithIdleTTL(*ttl))
+	var ckpt *checkpointer
+	if *ckptDir != "" {
+		if err := os.MkdirAll(*ckptDir, 0o755); err != nil {
+			return fmt.Errorf("checkpoint dir: %w", err)
+		}
+	}
+	// The hub needs the evict hook at construction, and the
+	// checkpointer needs the hub: build the hub with a hook that
+	// forwards to the checkpointer assigned just below (Sweep cannot
+	// fire before run finishes wiring — the sweep goroutine starts
+	// later in this function).
+	if *ckptDir != "" {
+		hubOpts = append(hubOpts, hub.WithEvictHook(func(ev hub.Eviction) {
+			if ckpt != nil {
+				ckpt.evictHook(ev)
+			}
+		}))
+	}
+	h := hub.New(hubOpts...)
+	if *ckptDir != "" {
+		ckpt = newCheckpointer(h, *ckptDir, logger)
+	}
+
+	// isReady gates /readyz. The listener comes up before the restore
+	// so a restarting daemon never bounces connections, but readiness
+	// flips on only once every checkpointed stream is live again.
+	var isReady atomic.Bool
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
 		return err
 	}
 	logger.Info("listening", "addr", ln.Addr().String(), "shards", *shards, "ttl", *ttl)
+
+	handler := newServer(h, *maxBody, *hurstEvery,
+		withLogger(logger), withPprof(*pprofOn), withEvents(*events), withReady(&isReady))
+	srv := &http.Server{Handler: handler}
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(ln) }()
+
+	if ckpt != nil {
+		if err := ckpt.restore(); err != nil {
+			srv.Close()
+			return fmt.Errorf("restore: %w", err)
+		}
+	}
+	isReady.Store(true)
 	if ready != nil {
 		ready <- ln.Addr()
 	}
 
+	if ckpt != nil && *ckptEvery > 0 {
+		go ckpt.loop(ctx, *ckptEvery)
+	}
 	if *ttl > 0 {
 		go func() {
 			t := time.NewTicker(*sweep)
@@ -140,17 +223,15 @@ func run(ctx context.Context, args []string, ready chan<- net.Addr) error {
 		}()
 	}
 
-	handler := newServer(h, *maxBody, *hurstEvery,
-		withLogger(logger), withPprof(*pprofOn), withEvents(*events))
-	srv := &http.Server{Handler: handler}
-	errc := make(chan error, 1)
-	go func() { errc <- srv.Serve(ln) }()
-
 	select {
 	case err := <-errc:
 		return err
 	case <-ctx.Done():
 	}
+	// Draining: readiness drops first so probes steer new traffic away,
+	// then in-flight requests finish, then — with no writers left — the
+	// final checkpoint captures every acknowledged tick.
+	isReady.Store(false)
 	logger.Info("shutting down", "drain", *drain)
 	sctx, cancel := context.WithTimeout(context.Background(), *drain)
 	defer cancel()
@@ -160,9 +241,65 @@ func run(ctx context.Context, args []string, ready chan<- net.Addr) error {
 	if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
 		return err
 	}
+	if ckpt != nil {
+		if err := ckpt.save(); err != nil {
+			return fmt.Errorf("final checkpoint: %w", err)
+		}
+		logger.Info("final checkpoint written", "dir", *ckptDir)
+	}
 	st := h.Stats()
 	logger.Info("served",
 		"ticks", st.Ticks, "streams", st.Created, "ticks_per_sec", st.TicksPerSec,
 		"group_ticks", st.GroupTicks, "groups", st.GroupsCreated)
+	return nil
+}
+
+// runRouter boots the daemon in router mode: a stateless consistent-
+// hash proxy over the -route backends with health-driven membership
+// and checkpoint-transfer rebalancing; see router.go.
+func runRouter(ctx context.Context, addr, route string, maxBody int64, healthEvery, drain time.Duration, logger *slog.Logger, ready chan<- net.Addr) error {
+	maxTicks := int(maxBody / 8)
+	if maxTicks < 1 {
+		maxTicks = 1
+	}
+	rt, err := newRouter(strings.Split(route, ","), maxTicks, logger, nil)
+	if err != nil {
+		return err
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	logger.Info("routing", "addr", ln.Addr().String(), "backends", len(rt.backends))
+
+	srv := &http.Server{Handler: rt.handler()}
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(ln) }()
+
+	// One synchronous probe round before announcing readiness, so the
+	// first request already sees real membership, then the steady
+	// polling loop.
+	rt.checkHealth(ctx)
+	if ready != nil {
+		ready <- ln.Addr()
+	}
+	if healthEvery > 0 {
+		go rt.healthLoop(ctx, healthEvery)
+	}
+
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+	logger.Info("router shutting down", "drain", drain)
+	sctx, cancel := context.WithTimeout(context.Background(), drain)
+	defer cancel()
+	if err := srv.Shutdown(sctx); err != nil {
+		return fmt.Errorf("shutdown: %w", err)
+	}
+	if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
 	return nil
 }

@@ -13,6 +13,7 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/obs"
@@ -28,6 +29,11 @@ import (
 type server struct {
 	hub     *hub.Hub
 	maxBody int64
+
+	// ready backs /readyz: false until the boot-time checkpoint restore
+	// completes and false again once shutdown begins draining. nil (the
+	// unit-test default) reads as always ready.
+	ready *atomic.Bool
 
 	// The binary wire. maxTicks is the frame-declared batch cap (the
 	// body cap divided by the 8 bytes a tick occupies on the wire), so
@@ -79,6 +85,7 @@ type serverConfig struct {
 	logger *slog.Logger
 	pprof  bool
 	events int
+	ready  *atomic.Bool
 }
 
 type serverOption func(*serverConfig)
@@ -98,6 +105,11 @@ func withEvents(n int) serverOption {
 	return func(c *serverConfig) { c.events = n }
 }
 
+// withReady connects /readyz to the daemon's readiness flag.
+func withReady(ready *atomic.Bool) serverOption {
+	return func(c *serverConfig) { c.ready = ready }
+}
+
 // newServer builds the daemon's handler around an existing hub. maxBody
 // caps request bodies in bytes (0 means the default of 32 MiB) — an
 // ingest batch bigger than that should be split by the client anyway.
@@ -111,7 +123,7 @@ func newServer(h *hub.Hub, maxBody int64, hurstEvery time.Duration, opts ...serv
 	for _, o := range opts {
 		o(&cfg)
 	}
-	s := &server{hub: h, maxBody: maxBody, hurstEvery: hurstEvery, logger: cfg.logger}
+	s := &server{hub: h, maxBody: maxBody, hurstEvery: hurstEvery, logger: cfg.logger, ready: cfg.ready}
 	s.maxTicks = int(maxBody / 8)
 	if s.maxTicks < 1 {
 		s.maxTicks = 1
@@ -134,13 +146,21 @@ func newServer(h *hub.Hub, maxBody int64, hurstEvery time.Duration, opts ...serv
 		{"POST /v1/streams/{id}/ticks", "", http.HandlerFunc(s.offerTicks)},
 		{"GET /v1/streams/{id}/snapshot", "", http.HandlerFunc(s.snapshot)},
 		{"GET /v1/streams/{id}/hurst", "", http.HandlerFunc(s.hurst)},
+		{"GET /v1/streams/{id}/state", "", http.HandlerFunc(s.streamState)},
+		{"PUT /v1/streams/{id}/state", "", http.HandlerFunc(s.putStreamState)},
+		{"DELETE /v1/streams/{id}/state", "", http.HandlerFunc(s.detachStreamState)},
 		{"DELETE /v1/streams/{id}", "", http.HandlerFunc(s.finishStream)},
 		{"GET /v1/streams", "", http.HandlerFunc(s.listStreams)},
 		{"PUT /v1/groups/{id}", "", http.HandlerFunc(s.createGroup)},
 		{"POST /v1/groups/{id}/ticks", "", http.HandlerFunc(s.offerGroupTicks)},
+		{"GET /v1/groups/{id}/state", "", http.HandlerFunc(s.groupState)},
+		{"PUT /v1/groups/{id}/state", "", http.HandlerFunc(s.putGroupState)},
+		{"DELETE /v1/groups/{id}/state", "", http.HandlerFunc(s.detachGroupState)},
 		{"GET /v1/groups/{id}", "", http.HandlerFunc(s.groupSnapshot)},
 		{"DELETE /v1/groups/{id}", "", http.HandlerFunc(s.finishGroup)},
 		{"GET /v1/groups", "", http.HandlerFunc(s.listGroups)},
+		{"GET /healthz", "", http.HandlerFunc(s.healthz)},
+		{"GET /readyz", "", http.HandlerFunc(s.readyz)},
 		{"GET /metrics", "", http.HandlerFunc(s.metrics)},
 		{"GET /debug/events", "", s.rec},
 		{"/", "other", http.HandlerFunc(s.notFound)},
@@ -276,6 +296,9 @@ func statusFor(err error) int {
 		errors.Is(err, sampling.ErrBadSpec),
 		errors.Is(err, sampling.ErrUnknownEstimator),
 		errors.Is(err, hub.ErrInvalidID),
+		errors.Is(err, sampling.ErrBadState),
+		errors.Is(err, sampling.ErrStateVersion),
+		errors.Is(err, sampling.ErrStateChecksum),
 		errors.As(err, &pe):
 		return http.StatusBadRequest
 	}

@@ -3,7 +3,6 @@ package core
 import (
 	"fmt"
 	"math"
-	"math/rand/v2"
 
 	"repro/internal/dsp"
 	"repro/internal/lrd"
@@ -11,9 +10,10 @@ import (
 )
 
 // newRand mirrors dist.NewRand without importing it, keeping core's
-// dependency surface minimal.
-func newRand(seed uint64) *rand.Rand {
-	return rand.New(rand.NewPCG(seed, seed^0x9e3779b97f4a7c15))
+// dependency surface minimal; the wrapper keeps the PCG position
+// exportable for state snapshots (see Rand).
+func newRand(seed uint64) *Rand {
+	return NewSeededRand(seed)
 }
 
 // IntervalPMF is the probability mass function H(x) of the i.i.d. gaps

@@ -17,7 +17,6 @@ package core
 
 import (
 	"fmt"
-	"math/rand/v2"
 )
 
 // Sample is one selected observation of the parent process.
@@ -81,11 +80,11 @@ func (s Systematic) validate() error {
 // each stratum.
 type Stratified struct {
 	Interval int
-	Rng      *rand.Rand
+	Rng      *Rand
 }
 
 // NewStratified validates the parameters.
-func NewStratified(interval int, rng *rand.Rand) (Stratified, error) {
+func NewStratified(interval int, rng *Rand) (Stratified, error) {
 	s := Stratified{Interval: interval, Rng: rng}
 	if err := s.validate(); err != nil {
 		return Stratified{}, err
@@ -124,11 +123,11 @@ func (s Stratified) validate() error {
 type SimpleRandom struct {
 	N    int
 	Rate float64
-	Rng  *rand.Rand
+	Rng  *Rand
 }
 
 // NewSimpleRandom validates a fixed-size configuration.
-func NewSimpleRandom(n int, rng *rand.Rand) (SimpleRandom, error) {
+func NewSimpleRandom(n int, rng *Rand) (SimpleRandom, error) {
 	s := SimpleRandom{N: n, Rng: rng}
 	if err := s.validate(); err != nil {
 		return SimpleRandom{}, err
@@ -137,7 +136,7 @@ func NewSimpleRandom(n int, rng *rand.Rand) (SimpleRandom, error) {
 }
 
 // NewSimpleRandomRate validates a population-relative configuration.
-func NewSimpleRandomRate(rate float64, rng *rand.Rand) (SimpleRandom, error) {
+func NewSimpleRandomRate(rate float64, rng *Rand) (SimpleRandom, error) {
 	s := SimpleRandom{Rate: rate, Rng: rng}
 	if err := s.validate(); err != nil {
 		return SimpleRandom{}, err
@@ -184,11 +183,11 @@ func (s SimpleRandom) validate() error {
 // counterpart of SimpleRandom.
 type Bernoulli struct {
 	Rate float64
-	Rng  *rand.Rand
+	Rng  *Rand
 }
 
 // NewBernoulli validates the parameters.
-func NewBernoulli(rate float64, rng *rand.Rand) (Bernoulli, error) {
+func NewBernoulli(rate float64, rng *Rand) (Bernoulli, error) {
 	b := Bernoulli{Rate: rate, Rng: rng}
 	if err := b.validate(); err != nil {
 		return Bernoulli{}, err

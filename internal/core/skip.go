@@ -2,7 +2,6 @@ package core
 
 import (
 	"math"
-	"math/rand/v2"
 )
 
 // BatchStreamer is the batch-ingest fast path of a StreamSampler: a
@@ -40,7 +39,7 @@ const maxSkip = math.MaxInt64 / 4
 // paper's Eq. (13). logq is log(1-p), precomputed by the caller. A
 // single inverse-transform draw replaces the run of per-tick uniform
 // draws that would have rejected those s ticks one by one.
-func geometricSkip(rng *rand.Rand, logq float64) int {
+func geometricSkip(rng *Rand, logq float64) int {
 	// 1-Float64() is uniform on (0,1], so the log is finite and <= 0.
 	// For p = 1, logq is -Inf and the quotient is the skip 0 every
 	// kept-with-certainty tick wants.
@@ -56,7 +55,7 @@ func geometricSkip(rng *rand.Rand, logq float64) int {
 // over before the next reservoir replacement is geometric with
 // parameter w. Guarded like geometricSkip: w == 0 (underflow after
 // astronomically many replacements) means "never replace again".
-func reservoirSkip(rng *rand.Rand, w float64) int {
+func reservoirSkip(rng *Rand, w float64) int {
 	s := math.Log(1-rng.Float64()) / math.Log1p(-w)
 	if !(s >= 0 && s < maxSkip) {
 		return maxSkip

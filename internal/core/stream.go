@@ -3,7 +3,6 @@ package core
 import (
 	"fmt"
 	"math"
-	"math/rand/v2"
 	"sort"
 )
 
@@ -140,7 +139,7 @@ func (p *streamSystematic) Finish() ([]Sample, error) { return nil, nil }
 // same rule as the batch formulation.
 type streamStratified struct {
 	interval int
-	rng      *rand.Rand
+	rng      *Rand
 	tick     int
 	pick     int // position within the current stratum
 	pending  Sample
@@ -215,7 +214,7 @@ func (p *streamStratified) Finish() ([]Sample, error) { return nil, nil }
 type streamSimpleRandom struct {
 	n    int     // fixed sample size; 0 defers to rate
 	rate float64 // population-relative size when n == 0
-	rng  *rand.Rand
+	rng  *Rand
 
 	// Fixed-n reservoir state.
 	res  []Sample
@@ -350,7 +349,7 @@ func (p *streamSimpleRandom) Finish() ([]Sample, error) {
 // floydSample draws n distinct positions uniformly from [0, pop) with
 // Robert Floyd's algorithm — n draws, no shuffle of the population —
 // and returns them sorted. Requires n <= pop.
-func floydSample(rng *rand.Rand, n, pop int) []int {
+func floydSample(rng *Rand, n, pop int) []int {
 	chosen := make(map[int]struct{}, n)
 	for j := pop - n; j < pop; j++ {
 		t := rng.IntN(j + 1)
@@ -375,7 +374,7 @@ func floydSample(rng *rand.Rand, n, pop int) []int {
 // collapses to once the gap law is sampled directly.
 type streamBernoulli struct {
 	rate float64
-	rng  *rand.Rand
+	rng  *Rand
 	logq float64 // log(1-rate), the geometric inverse-transform denominator
 	skip int     // ticks to pass over before the next kept one
 }
@@ -383,7 +382,7 @@ type streamBernoulli struct {
 // newStreamBernoulli seeds the gap state: the first skip is drawn at
 // construction so Offer and OfferBatch share one well-defined draw
 // sequence.
-func newStreamBernoulli(rate float64, rng *rand.Rand) *streamBernoulli {
+func newStreamBernoulli(rate float64, rng *Rand) *streamBernoulli {
 	p := &streamBernoulli{rate: rate, rng: rng, logq: math.Log1p(-rate)}
 	p.skip = geometricSkip(rng, p.logq)
 	return p

@@ -22,7 +22,7 @@ func Analyzers() []*analysis.Analyzer {
 var Scopes = map[string][]string{
 	"batchoffer": {"repro/sampling/hub", "repro/cmd/sampled", "repro/cmd/sampleload"},
 	"noreadall":  {"repro/sampling/wire", "repro/cmd/sampled"},
-	"detsource":  {samplingPath, "repro/internal/core", "repro/sampling/estimate", obsPath},
+	"detsource":  {samplingPath, "repro/internal/core", "repro/sampling/estimate", obsPath, "repro/sampling/persist", "repro/sampling/cluster"},
 	"hotalloc":   nil,
 	"nanwire":    {samplingPath},
 }

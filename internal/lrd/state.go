@@ -1,0 +1,191 @@
+package lrd
+
+import (
+	"fmt"
+
+	"repro/internal/binenc"
+	"repro/internal/stats"
+)
+
+// State serialization for the streaming estimators: each estimator can
+// append its exact internal state to a byte blob and restore it into a
+// fresh instance, so a Hurst ladder survives a process restart with the
+// identical dyadic state — every half-block sum, every level
+// accumulator — a never-stopped estimator would hold. Only the levels
+// the stream has actually touched are written, so a young estimator's
+// blob is a few dozen bytes, not maxStreamLevels records.
+//
+// Blobs are tagged per estimator kind and validated on restore; callers
+// frame, version and checksum them (the sampling engine codec does).
+
+const (
+	stateTagAggVar  = 0x11
+	stateTagWavelet = 0x12
+	stateTagRS      = 0x13
+)
+
+func checkTag(r *binenc.Reader, want uint8, name string) error {
+	if got := r.U8(); r.Err() == nil && got != want {
+		return fmt.Errorf("lrd: state blob tagged %#02x is not %s state (tag %#02x)", got, name, want)
+	}
+	return r.Err()
+}
+
+func appendAcc(dst []byte, a *stats.Accumulator) []byte {
+	st := a.State()
+	dst = binenc.AppendI64(dst, int64(st.N))
+	dst = binenc.AppendF64(dst, st.Mean)
+	dst = binenc.AppendF64(dst, st.M2)
+	dst = binenc.AppendF64(dst, st.Sum)
+	dst = binenc.AppendF64(dst, st.Min)
+	dst = binenc.AppendF64(dst, st.Max)
+	return dst
+}
+
+func readAcc(r *binenc.Reader) stats.AccumulatorState {
+	return stats.AccumulatorState{
+		N:    int(r.I64()),
+		Mean: r.F64(),
+		M2:   r.F64(),
+		Sum:  r.F64(),
+		Min:  r.F64(),
+		Max:  r.F64(),
+	}
+}
+
+// activeLevels returns how many leading ladder rungs carry state.
+func (s *StreamAggVar) activeLevels() int {
+	n := 0
+	for j := 0; j < maxStreamLevels; j++ {
+		if s.halves[j].has || s.accs[j].N() > 0 {
+			n = j + 1
+		}
+	}
+	return n
+}
+
+// AppendState appends the ladder's exact state to dst.
+func (s *StreamAggVar) AppendState(dst []byte) []byte {
+	dst = binenc.AppendU8(dst, stateTagAggVar)
+	dst = binenc.AppendI64(dst, int64(s.MinM))
+	dst = binenc.AppendI64(dst, s.n)
+	levels := s.activeLevels()
+	dst = binenc.AppendU8(dst, uint8(levels))
+	for j := 0; j < levels; j++ {
+		dst = binenc.AppendF64(dst, s.halves[j].sum)
+		dst = binenc.AppendBool(dst, s.halves[j].has)
+		dst = appendAcc(dst, &s.accs[j])
+	}
+	return dst
+}
+
+// RestoreState overwrites the ladder from a blob written by AppendState.
+func (s *StreamAggVar) RestoreState(data []byte) error {
+	r := binenc.NewReader(data)
+	if err := checkTag(r, stateTagAggVar, "aggvar"); err != nil {
+		return err
+	}
+	minM := int(r.I64())
+	n := r.I64()
+	levels := int(r.U8())
+	if r.Err() == nil && (levels > maxStreamLevels || n < 0) {
+		return fmt.Errorf("lrd: aggvar state declares %d levels over %d ticks", levels, n)
+	}
+	next := StreamAggVar{MinM: minM, n: n}
+	for j := 0; j < levels; j++ {
+		next.halves[j].sum = r.F64()
+		next.halves[j].has = r.Bool()
+		next.accs[j].SetState(readAcc(r))
+	}
+	if err := r.Err(); err != nil {
+		return err
+	}
+	*s = next
+	return nil
+}
+
+// activeLevels returns how many leading cascade rungs carry state.
+func (s *StreamWavelet) activeLevels() int {
+	n := 0
+	for j := 0; j < maxStreamLevels; j++ {
+		if s.halves[j].has || s.count[j] > 0 {
+			n = j + 1
+		}
+	}
+	return n
+}
+
+// AppendState appends the cascade's exact state to dst.
+func (s *StreamWavelet) AppendState(dst []byte) []byte {
+	dst = binenc.AppendU8(dst, stateTagWavelet)
+	dst = binenc.AppendI64(dst, int64(s.JMin))
+	dst = binenc.AppendI64(dst, s.n)
+	levels := s.activeLevels()
+	dst = binenc.AppendU8(dst, uint8(levels))
+	for j := 0; j < levels; j++ {
+		dst = binenc.AppendF64(dst, s.halves[j].sum)
+		dst = binenc.AppendBool(dst, s.halves[j].has)
+		dst = binenc.AppendF64(dst, s.energy[j])
+		dst = binenc.AppendI64(dst, s.count[j])
+	}
+	return dst
+}
+
+// RestoreState overwrites the cascade from a blob written by AppendState.
+func (s *StreamWavelet) RestoreState(data []byte) error {
+	r := binenc.NewReader(data)
+	if err := checkTag(r, stateTagWavelet, "wavelet"); err != nil {
+		return err
+	}
+	jMin := int(r.I64())
+	n := r.I64()
+	levels := int(r.U8())
+	if r.Err() == nil && (levels > maxStreamLevels || n < 0) {
+		return fmt.Errorf("lrd: wavelet state declares %d levels over %d ticks", levels, n)
+	}
+	next := StreamWavelet{JMin: jMin, n: n}
+	for j := 0; j < levels; j++ {
+		next.halves[j].sum = r.F64()
+		next.halves[j].has = r.Bool()
+		next.energy[j] = r.F64()
+		next.count[j] = r.I64()
+	}
+	if err := r.Err(); err != nil {
+		return err
+	}
+	*s = next
+	return nil
+}
+
+// AppendState appends the ring's exact state to dst: the window size,
+// the tick count, the write position and the raw ring contents.
+func (s *StreamRS) AppendState(dst []byte) []byte {
+	dst = binenc.AppendU8(dst, stateTagRS)
+	dst = binenc.AppendI64(dst, s.n)
+	dst = binenc.AppendI64(dst, int64(s.pos))
+	dst = binenc.AppendF64s(dst, s.window)
+	return dst
+}
+
+// RestoreState overwrites the ring from a blob written by AppendState.
+// The window is resized to the blob's window, so the restored estimator
+// forgets exactly as much history as the original did.
+func (s *StreamRS) RestoreState(data []byte) error {
+	r := binenc.NewReader(data)
+	if err := checkTag(r, stateTagRS, "rs"); err != nil {
+		return err
+	}
+	n := r.I64()
+	pos := int(r.I64())
+	window := r.F64s()
+	if err := r.Err(); err != nil {
+		return err
+	}
+	if len(window) < 256 || n < 0 || pos < 0 || pos >= len(window) {
+		return fmt.Errorf("lrd: rs state inconsistent (window=%d n=%d pos=%d)", len(window), n, pos)
+	}
+	s.window = window
+	s.scratch = make([]float64, len(window))
+	s.n, s.pos = n, pos
+	return nil
+}

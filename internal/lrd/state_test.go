@@ -1,0 +1,107 @@
+package lrd
+
+import (
+	"math"
+	"testing"
+)
+
+// stateTrace is a deterministic mildly bursty series long enough to
+// fill several ladder levels.
+func stateTrace(n int) []float64 {
+	f := make([]float64, n)
+	for i := range f {
+		f[i] = 1 + math.Sin(float64(i)/7)*math.Cos(float64(i)/101) + float64(i%13)/13
+	}
+	return f
+}
+
+// TestStreamStateRoundTrip: capture mid-stream, restore into a fresh
+// instance, finish the stream on both, and require byte-identical
+// estimates — the ladder invariant the engine codec builds on. The cut
+// point is deliberately off any power-of-two boundary so open
+// half-blocks are part of the captured state.
+func TestStreamStateRoundTrip(t *testing.T) {
+	f := stateTrace(5000)
+	cut := 3001
+
+	t.Run("aggvar", func(t *testing.T) {
+		var live StreamAggVar
+		for _, v := range f[:cut] {
+			live.Tick(v)
+		}
+		var restored StreamAggVar
+		if err := restored.RestoreState(live.AppendState(nil)); err != nil {
+			t.Fatal(err)
+		}
+		for _, v := range f[cut:] {
+			live.Tick(v)
+			restored.Tick(v)
+		}
+		a, errA := live.Estimate()
+		b, errB := restored.Estimate()
+		if (errA == nil) != (errB == nil) || a != b {
+			t.Fatalf("estimates diverge: %+v (%v) vs %+v (%v)", a, errA, b, errB)
+		}
+		if live.N() != restored.N() {
+			t.Fatalf("tick counts diverge: %d vs %d", live.N(), restored.N())
+		}
+	})
+
+	t.Run("wavelet", func(t *testing.T) {
+		var live StreamWavelet
+		for _, v := range f[:cut] {
+			live.Tick(v)
+		}
+		var restored StreamWavelet
+		if err := restored.RestoreState(live.AppendState(nil)); err != nil {
+			t.Fatal(err)
+		}
+		for _, v := range f[cut:] {
+			live.Tick(v)
+			restored.Tick(v)
+		}
+		a, errA := live.Estimate()
+		b, errB := restored.Estimate()
+		if (errA == nil) != (errB == nil) || a != b {
+			t.Fatalf("estimates diverge: %+v (%v) vs %+v (%v)", a, errA, b, errB)
+		}
+	})
+
+	t.Run("rs", func(t *testing.T) {
+		live := NewStreamRS(512)
+		for _, v := range f[:cut] {
+			live.Tick(v)
+		}
+		restored := NewStreamRS(0) // restore must adopt the blob's window size
+		if err := restored.RestoreState(live.AppendState(nil)); err != nil {
+			t.Fatal(err)
+		}
+		for _, v := range f[cut:] {
+			live.Tick(v)
+			restored.Tick(v)
+		}
+		a, errA := live.Estimate()
+		b, errB := restored.Estimate()
+		if (errA == nil) != (errB == nil) || a != b {
+			t.Fatalf("estimates diverge: %+v (%v) vs %+v (%v)", a, errA, b, errB)
+		}
+	})
+}
+
+// TestStreamStateRejectsWrongKind: a blob from one estimator kind must
+// not restore into another.
+func TestStreamStateRejectsWrongKind(t *testing.T) {
+	var av StreamAggVar
+	av.Tick(1)
+	blob := av.AppendState(nil)
+	var wv StreamWavelet
+	if err := wv.RestoreState(blob); err == nil {
+		t.Fatal("wavelet accepted an aggvar blob")
+	}
+	if err := NewStreamRS(0).RestoreState(blob); err == nil {
+		t.Fatal("rs accepted an aggvar blob")
+	}
+	if err := av.RestoreState(blob[:len(blob)-3]); err == nil {
+		t.Fatal("aggvar accepted a truncated blob")
+	}
+}

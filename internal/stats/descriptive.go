@@ -195,6 +195,25 @@ func (a *Accumulator) Max() float64 {
 	return a.max
 }
 
+// AccumulatorState is the exported form of an Accumulator's internal
+// state, for exact serialization: State followed by SetState reproduces
+// the accumulator bit for bit, so a restored stream continues the same
+// Welford recursion a never-stopped one would.
+type AccumulatorState struct {
+	N                       int
+	Mean, M2, Sum, Min, Max float64
+}
+
+// State captures the accumulator's internal state.
+func (a *Accumulator) State() AccumulatorState {
+	return AccumulatorState{N: a.n, Mean: a.mean, M2: a.m2, Sum: a.sum, Min: a.min, Max: a.max}
+}
+
+// SetState overwrites the accumulator with a previously captured state.
+func (a *Accumulator) SetState(s AccumulatorState) {
+	a.n, a.mean, a.m2, a.sum, a.min, a.max = s.N, s.Mean, s.M2, s.Sum, s.Min, s.Max
+}
+
 // Merge folds another accumulator into a (parallel reduction support).
 func (a *Accumulator) Merge(b *Accumulator) {
 	if b.n == 0 {

@@ -1,0 +1,168 @@
+// Package cluster places named sampling streams onto a set of serving
+// nodes and moves their exact engine state when the set changes — the
+// placement and handoff layer under sampled's router mode.
+//
+// Placement is consistent hashing with virtual nodes: each member
+// contributes replicas points on a 64-bit FNV-1a ring, and a stream id
+// is owned by the first point at or after its own hash. Adding or
+// removing one member therefore remaps only the ids that fall into
+// the vanished (or newly claimed) arcs — about 1/N of the keyspace —
+// instead of reshuffling everything, which is exactly what keeps a
+// checkpoint-transfer handoff affordable on membership change.
+//
+// Rings are immutable values: With and Without derive new rings, and
+// Moves diffs two rings over a set of ids to produce the handoff work
+// list. The package holds no clock and draws no randomness — placement
+// is a pure function of membership and id, so any two routers with the
+// same member list agree on every stream's owner without coordination.
+package cluster
+
+import (
+	"fmt"
+	"slices"
+	"sort"
+	"strconv"
+)
+
+// DefaultReplicas is the virtual-node count per member when NewRing is
+// given no explicit figure. 128 points per member keeps the expected
+// load imbalance across members in the few-percent range without
+// making ring construction noticeable.
+const DefaultReplicas = 128
+
+// point is one virtual node: a position on the hash circle and the
+// member that owns the arc ending there.
+type point struct {
+	hash   uint64
+	member string
+}
+
+// Ring is an immutable consistent-hash ring over a member set.
+type Ring struct {
+	replicas int
+	members  []string // sorted, unique
+	points   []point  // sorted by hash
+}
+
+// hash64 positions a string on the circle: 64-bit FNV-1a finished with
+// a splitmix64-style avalanche. Raw FNV-1a is NOT enough here — a
+// trailing-byte difference is diffused by only one multiply, so
+// sequential ids ("flow-00", "flow-01", ...) land within ~1e13 of each
+// other on a 2^64 circle whose arcs average ~1e17 wide, which puts an
+// entire id family inside one arc and therefore on one member. The
+// finalizer avalanches every input bit across the word, restoring the
+// uniform placement consistent hashing is built on. Placement is still
+// a pure function of the string, stable across processes.
+func hash64(s string) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= prime64
+	}
+	h ^= h >> 30
+	h *= 0xbf58476d1ce4e5b9
+	h ^= h >> 27
+	h *= 0x94d049bb133111eb
+	h ^= h >> 31
+	return h
+}
+
+// NewRing builds a ring over the given members (duplicates collapse;
+// order is irrelevant) with the given virtual-node count per member
+// (<= 0 means DefaultReplicas). An empty member list is a valid ring
+// that owns nothing.
+func NewRing(members []string, replicas int) *Ring {
+	if replicas <= 0 {
+		replicas = DefaultReplicas
+	}
+	uniq := slices.Clone(members)
+	sort.Strings(uniq)
+	uniq = slices.Compact(uniq)
+	r := &Ring{replicas: replicas, members: uniq}
+	r.points = make([]point, 0, len(uniq)*replicas)
+	for _, m := range uniq {
+		for v := 0; v < replicas; v++ {
+			r.points = append(r.points, point{hash64(m + "#" + strconv.Itoa(v)), m})
+		}
+	}
+	sort.Slice(r.points, func(i, j int) bool {
+		if r.points[i].hash != r.points[j].hash {
+			return r.points[i].hash < r.points[j].hash
+		}
+		// Hash ties (astronomically rare but possible) break by member
+		// so placement stays deterministic across processes.
+		return r.points[i].member < r.points[j].member
+	})
+	return r
+}
+
+// Lookup returns the member owning id, or "" on an empty ring.
+func (r *Ring) Lookup(id string) string {
+	if len(r.points) == 0 {
+		return ""
+	}
+	h := hash64(id)
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	if i == len(r.points) {
+		i = 0 // wrap: past the last point, the first point owns the arc
+	}
+	return r.points[i].member
+}
+
+// Members returns the sorted member list (a copy).
+func (r *Ring) Members() []string { return slices.Clone(r.members) }
+
+// Has reports whether member is on the ring.
+func (r *Ring) Has(member string) bool {
+	_, ok := slices.BinarySearch(r.members, member)
+	return ok
+}
+
+// Len returns the member count.
+func (r *Ring) Len() int { return len(r.members) }
+
+// With derives a ring with member added (a no-op copy if present).
+func (r *Ring) With(member string) *Ring {
+	return NewRing(append(r.Members(), member), r.replicas)
+}
+
+// Without derives a ring with member removed (a no-op copy if absent).
+func (r *Ring) Without(member string) *Ring {
+	ms := r.Members()
+	ms = slices.DeleteFunc(ms, func(m string) bool { return m == member })
+	return NewRing(ms, r.replicas)
+}
+
+// String renders the ring for logs.
+func (r *Ring) String() string {
+	return fmt.Sprintf("ring(%d members, %d replicas)", len(r.members), r.replicas)
+}
+
+// Move is one unit of handoff work: stream ID must leave From and
+// arrive at To for placement under the new ring to be correct. From is
+// "" when the id had no owner before (the old ring was empty).
+type Move struct {
+	ID   string
+	From string
+	To   string
+}
+
+// Moves diffs stream ownership between two rings over the given ids:
+// every id whose owner changed becomes one Move. Ids the new ring
+// cannot place (cur is empty) are skipped — there is nowhere to move
+// them to.
+func Moves(old, cur *Ring, ids []string) []Move {
+	var out []Move
+	for _, id := range ids {
+		from, to := old.Lookup(id), cur.Lookup(id)
+		if to == "" || from == to {
+			continue
+		}
+		out = append(out, Move{ID: id, From: from, To: to})
+	}
+	return out
+}

@@ -85,6 +85,7 @@ type Hub struct {
 	mask          uint64
 	clock         func() time.Time
 	ttl           time.Duration
+	evictHook     func(Eviction)
 	start         time.Time
 	created       atomic.Int64
 	evicted       atomic.Int64
@@ -412,33 +413,49 @@ func (h *Hub) Sweep() int {
 		return 0
 	}
 	cutoff := h.clock().Add(-h.ttl).UnixNano()
-	var dead []*stream
-	var deadGroups []*groupStream
+	type deadStream struct {
+		id string
+		st *stream
+	}
+	type deadGroup struct {
+		id string
+		gs *groupStream
+	}
+	var dead []deadStream
+	var deadGroups []deadGroup
 	for i := range h.shards {
 		sh := &h.shards[i]
 		sh.mu.Lock()
 		for id, st := range sh.streams {
 			if st.lastActive.Load() < cutoff {
 				delete(sh.streams, id)
-				dead = append(dead, st)
+				dead = append(dead, deadStream{id, st})
 			}
 		}
 		for id, gs := range sh.groups {
 			if gs.lastActive.Load() < cutoff {
 				delete(sh.groups, id)
-				deadGroups = append(deadGroups, gs)
+				deadGroups = append(deadGroups, deadGroup{id, gs})
 			}
 		}
 		sh.mu.Unlock()
 	}
-	// Finalize outside the shard locks: Finish can do O(stream) work
-	// (simple random sampling drains its buffer) and must not stall
-	// unrelated streams of the same shard.
-	for _, st := range dead {
-		st.engine.Finish()
+	// The evict hook, then finalization, both outside the shard locks:
+	// Finish can do O(stream) work (simple random sampling drains its
+	// buffer) and must not stall unrelated streams of the same shard.
+	// The hook runs first — it is the last chance to capture the
+	// engine's state before Finish closes it.
+	for _, d := range dead {
+		if h.evictHook != nil {
+			h.evictHook(Eviction{ID: d.id, Engine: d.st.engine})
+		}
+		d.st.engine.Finish()
 	}
-	for _, gs := range deadGroups {
-		gs.group.Finish()
+	for _, d := range deadGroups {
+		if h.evictHook != nil {
+			h.evictHook(Eviction{ID: d.id, Group: d.gs.group})
+		}
+		d.gs.group.Finish()
 	}
 	h.evicted.Add(int64(len(dead)))
 	h.groupsEvicted.Add(int64(len(deadGroups)))

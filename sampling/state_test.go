@@ -1,0 +1,353 @@
+package sampling
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"math"
+	"math/rand/v2"
+	"testing"
+	"time"
+)
+
+// stateTrace is a deterministic heavy-ish trace: seeded uniform noise
+// with a slow burst modulation, long enough to exercise reservoir
+// replacements, BSS triggers and several estimator ladder levels.
+func stateTrace(n int, seed uint64) []float64 {
+	rng := rand.New(rand.NewPCG(seed, seed^0x9e3779b97f4a7c15))
+	f := make([]float64, n)
+	for i := range f {
+		burst := 1 + 3*math.Pow(math.Sin(float64(i)/500), 2)
+		f[i] = rng.Float64() * burst
+	}
+	return f
+}
+
+// restoreSpecs covers all five techniques, both simple-random regimes
+// and a budgeted variant — the matrix the restore-determinism
+// acceptance criterion names.
+var restoreSpecs = []struct {
+	name   string
+	spec   string
+	budget int
+}{
+	{name: "systematic", spec: "systematic:interval=37,offset=5"},
+	{name: "stratified", spec: "stratified:interval=41,seed=11"},
+	{name: "simple-random-n", spec: "simple:n=64,seed=7"},
+	{name: "simple-random-rate", spec: "simple:rate=0.02,seed=9"},
+	{name: "bernoulli", spec: "bernoulli:rate=0.03,seed=13"},
+	{name: "bss", spec: "bss:interval=50,L=4,eps=1.0,pre=5"},
+	{name: "bernoulli-budgeted", spec: "bernoulli:rate=0.05,seed=3", budget: 40},
+}
+
+// offerChunks drives values through OfferBatch in deliberately awkward
+// chunk sizes (1, 7, 64, 395, ...) and returns total kept.
+func offerChunks(e *Engine, values []float64) int {
+	sizes := []int{1, 7, 64, 395, 13, 256}
+	kept, i, s := 0, 0, 0
+	for i < len(values) {
+		n := sizes[s%len(sizes)]
+		s++
+		if i+n > len(values) {
+			n = len(values) - i
+		}
+		kept += e.OfferBatch(values[i : i+n])
+		i += n
+	}
+	return kept
+}
+
+// TestRestoreDeterminism is the subsystem's core invariant: an engine
+// checkpointed mid-stream and restored must emit the byte-identical
+// kept-sample sequence — and Hurst points — of one that never stopped,
+// for every technique. The uninterrupted engine and the restored one
+// consume the identical suffix; equality is asserted tick by tick on
+// emitted samples, on snapshots, on Finish tails, and finally on the
+// complete marshaled end states.
+func TestRestoreDeterminism(t *testing.T) {
+	trace := stateTrace(20000, 42)
+	cut := 11213 // off any stratum/interval boundary
+	clock := func() time.Time { return time.Unix(1700000000, 0) }
+
+	for _, tc := range restoreSpecs {
+		t.Run(tc.name, func(t *testing.T) {
+			opts := []Option{WithEstimator("aggvar"), WithClock(clock)}
+			if tc.budget > 0 {
+				opts = append(opts, WithBudget(tc.budget))
+			}
+			live, err := New(MustParse(tc.spec), opts...)
+			if err != nil {
+				t.Fatal(err)
+			}
+			offerChunks(live, trace[:cut])
+
+			blob, err := live.MarshalState()
+			if err != nil {
+				t.Fatal(err)
+			}
+			restored, err := RestoreEngine(blob, WithClock(clock))
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			// The suffix goes through per-tick Offer on both engines so the
+			// emitted kept-sample sequences can be compared sample by sample.
+			for i, v := range trace[cut:] {
+				sa, oka := live.Offer(v)
+				sb, okb := restored.Offer(v)
+				if oka != okb || sa != sb {
+					t.Fatalf("tick %d: live emitted (%+v,%v), restored (%+v,%v)", cut+i, sa, oka, sb, okb)
+				}
+			}
+
+			la, lb := live.Snapshot(), restored.Snapshot()
+			// NaN-tolerant comparison: identical structs format identically,
+			// including NaN fields, where == would report NaN != NaN.
+			flatA, flatB := la, lb
+			flatA.Hurst, flatB.Hurst = nil, nil
+			if got, want := fmt.Sprintf("%+v", flatA), fmt.Sprintf("%+v", flatB); got != want {
+				t.Fatalf("snapshots diverge:\nlive     %s\nrestored %s", want, got)
+			}
+			if (la.Hurst == nil) != (lb.Hurst == nil) {
+				t.Fatalf("hurst presence diverges")
+			}
+			if la.Hurst != nil {
+				if got, want := fmt.Sprintf("%+v", *lb.Hurst), fmt.Sprintf("%+v", *la.Hurst); got != want {
+					t.Fatalf("hurst points diverge:\nlive     %s\nrestored %s", want, got)
+				}
+			}
+
+			tailA, errA := live.Finish()
+			tailB, errB := restored.Finish()
+			if (errA == nil) != (errB == nil) {
+				t.Fatalf("finish errors diverge: %v vs %v", errA, errB)
+			}
+			if len(tailA) != len(tailB) {
+				t.Fatalf("finish tails diverge: %d vs %d samples", len(tailA), len(tailB))
+			}
+			for i := range tailA {
+				if tailA[i] != tailB[i] {
+					t.Fatalf("finish tail sample %d diverges: %+v vs %+v", i, tailA[i], tailB[i])
+				}
+			}
+
+			// Strongest form: the complete end states serialize to the same
+			// bytes, so every internal field (RNG position included) matches.
+			endA, err := live.MarshalState()
+			if err != nil {
+				t.Fatal(err)
+			}
+			endB, err := restored.MarshalState()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(endA, endB) {
+				t.Fatalf("end states diverge (%d vs %d bytes)", len(endA), len(endB))
+			}
+		})
+	}
+}
+
+// TestRestoreDeterminismAcrossBatchShapes: the restored engine may see
+// the suffix in completely different batch shapes and still match —
+// state capture happens on batch boundaries, and batch shape is
+// invisible to the kernels.
+func TestRestoreDeterminismAcrossBatchShapes(t *testing.T) {
+	trace := stateTrace(12000, 7)
+	cut := 7321
+	for _, spec := range []string{"stratified:interval=29,seed=5", "bernoulli:rate=0.04,seed=8"} {
+		live, err := New(MustParse(spec))
+		if err != nil {
+			t.Fatal(err)
+		}
+		offerChunks(live, trace[:cut])
+		blob, err := live.MarshalState()
+		if err != nil {
+			t.Fatal(err)
+		}
+		restored, err := RestoreEngine(blob)
+		if err != nil {
+			t.Fatal(err)
+		}
+		keptLive := live.OfferBatch(trace[cut:]) // one giant batch
+		keptRestored := 0
+		for _, v := range trace[cut:] { // vs. tick by tick
+			if _, ok := restored.Offer(v); ok {
+				keptRestored++
+			}
+		}
+		if keptLive != keptRestored {
+			t.Fatalf("%s: kept %d via one batch, %d restored tick-by-tick", spec, keptLive, keptRestored)
+		}
+		endA, _ := live.MarshalState()
+		endB, _ := restored.MarshalState()
+		if !bytes.Equal(endA, endB) {
+			t.Fatalf("%s: end states diverge", spec)
+		}
+	}
+}
+
+// TestRestoreEngineRejectsCorruption: the typed failure modes of the
+// framing — truncation, bad magic, alien version, checksum damage.
+func TestRestoreEngineRejectsCorruption(t *testing.T) {
+	eng, err := New(MustParse("bernoulli:rate=0.1,seed=2"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng.OfferBatch(stateTrace(500, 1))
+	blob, err := eng.MarshalState()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if _, err := RestoreEngine(blob[:4]); !errors.Is(err, ErrBadState) {
+		t.Errorf("truncated blob: %v, want ErrBadState", err)
+	}
+	bad := append([]byte(nil), blob...)
+	bad[0] ^= 0xff
+	if _, err := RestoreEngine(bad); !errors.Is(err, ErrBadState) {
+		t.Errorf("bad magic: %v, want ErrBadState", err)
+	}
+	bad = append([]byte(nil), blob...)
+	bad[4] = 99
+	if _, err := RestoreEngine(bad); !errors.Is(err, ErrStateVersion) {
+		t.Errorf("alien version: %v, want ErrStateVersion", err)
+	}
+	bad = append([]byte(nil), blob...)
+	bad[len(bad)/2] ^= 0x01
+	if _, err := RestoreEngine(bad); !errors.Is(err, ErrStateChecksum) {
+		t.Errorf("flipped payload bit: %v, want ErrStateChecksum", err)
+	}
+	// A group blob must not restore as an engine.
+	g, err := NewGroup([]Spec{MustParse("systematic:interval=10")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gblob, err := g.MarshalState()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := RestoreEngine(gblob); !errors.Is(err, ErrBadState) {
+		t.Errorf("group blob as engine: %v, want ErrBadState", err)
+	}
+}
+
+// TestRestoreRejectsStateOptions: seed, budget and estimator belong to
+// the blob; only the clock is injectable at restore time.
+func TestRestoreRejectsStateOptions(t *testing.T) {
+	eng, err := New(MustParse("systematic:interval=5"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob, err := eng.MarshalState()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := RestoreEngine(blob, WithSeed(9)); err == nil {
+		t.Error("WithSeed accepted on restore")
+	}
+	if _, err := RestoreEngine(blob, WithBudget(10)); err == nil {
+		t.Error("WithBudget accepted on restore")
+	}
+	if _, err := RestoreEngine(blob, WithEstimator("aggvar")); err == nil {
+		t.Error("WithEstimator accepted on restore")
+	}
+	if _, err := RestoreEngine(blob, WithClock(func() time.Time { return time.Unix(0, 0) })); err != nil {
+		t.Errorf("WithClock rejected on restore: %v", err)
+	}
+}
+
+// TestGroupRestoreDeterminism: a group checkpointed mid-stream restores
+// with its shared input reference and every member's state intact, and
+// continues identically.
+func TestGroupRestoreDeterminism(t *testing.T) {
+	trace := stateTrace(15000, 21)
+	cut := 9973
+	specs := []Spec{
+		MustParse("systematic:interval=40"),
+		MustParse("stratified:interval=40,seed=4"),
+		MustParse("bernoulli:rate=0.025,seed=6"),
+		MustParse("bss:interval=40,L=3,eps=1.2"),
+	}
+	clock := func() time.Time { return time.Unix(1700000000, 0) }
+	live, err := NewGroup(specs, WithEstimator("wavelet"), WithClock(clock))
+	if err != nil {
+		t.Fatal(err)
+	}
+	live.OfferBatch(trace[:cut])
+
+	blob, err := live.MarshalState()
+	if err != nil {
+		t.Fatal(err)
+	}
+	restored, err := RestoreGroup(blob, WithClock(clock))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if restored.Len() != live.Len() {
+		t.Fatalf("restored %d members, want %d", restored.Len(), live.Len())
+	}
+
+	ka := live.OfferBatch(trace[cut:])
+	kb := restored.OfferBatch(trace[cut:])
+	if ka != kb {
+		t.Fatalf("suffix kept %d live, %d restored", ka, kb)
+	}
+	ca, cb := live.Snapshot(), restored.Snapshot()
+	if ca.Seen != cb.Seen || fmt.Sprintf("%v/%v", ca.Mean, ca.Variance) != fmt.Sprintf("%v/%v", cb.Mean, cb.Variance) {
+		t.Fatalf("group references diverge:\nlive     %+v\nrestored %+v", ca, cb)
+	}
+	if (ca.Hurst == nil) != (cb.Hurst == nil) ||
+		(ca.Hurst != nil && fmt.Sprintf("%+v", *ca.Hurst) != fmt.Sprintf("%+v", *cb.Hurst)) {
+		t.Fatalf("group hurst diverges")
+	}
+	for i := range ca.Members {
+		sa, sb := ca.Members[i].Summary, cb.Members[i].Summary
+		if sa.Seen != sb.Seen || sa.Kept != sb.Kept || fmt.Sprintf("%v", sa.Mean) != fmt.Sprintf("%v", sb.Mean) {
+			t.Fatalf("member %d diverges:\nlive     %+v\nrestored %+v", i, sa, sb)
+		}
+	}
+	endA, err := live.MarshalState()
+	if err != nil {
+		t.Fatal(err)
+	}
+	endB, err := restored.MarshalState()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(endA, endB) {
+		t.Fatalf("group end states diverge (%d vs %d bytes)", len(endA), len(endB))
+	}
+}
+
+// TestRestoreFinishedEngine: a finished engine round-trips with its
+// lifecycle state and error message intact.
+func TestRestoreFinishedEngine(t *testing.T) {
+	eng, err := New(MustParse("simple:n=10,seed=5"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Finish with fewer ticks than n so Finish returns a typed error.
+	eng.OfferBatch(stateTrace(5, 3))
+	if _, err := eng.Finish(); err == nil {
+		t.Fatal("expected a finish error (n > population)")
+	}
+	blob, err := eng.MarshalState()
+	if err != nil {
+		t.Fatal(err)
+	}
+	restored, err := RestoreEngine(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !restored.Finished() {
+		t.Error("restored engine lost its finished state")
+	}
+	snap := restored.Snapshot()
+	if snap.Err == nil || snap.Err.Error() != eng.Snapshot().Err.Error() {
+		t.Errorf("finish error message lost: %v", snap.Err)
+	}
+	if kept := restored.OfferBatch([]float64{1, 2, 3}); kept != 0 {
+		t.Errorf("finished restored engine kept %d samples", kept)
+	}
+}
